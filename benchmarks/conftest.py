@@ -1,0 +1,38 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures at a reduced
+scale (documented per benchmark) and prints the corresponding rows/series so
+that the console output of ``pytest benchmarks/ --benchmark-only -s`` can be
+compared directly against the paper.  Results are also appended to
+``benchmarks/results/`` as plain-text reports.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def pytest_configure(config):
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+
+
+@pytest.fixture
+def report_file():
+    """Return a function that writes a named benchmark report to disk."""
+    def write(name: str, content: str) -> str:
+        path = os.path.join(RESULTS_DIR, f"{name}.txt")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(content.rstrip() + "\n")
+        return path
+    return write
+
+
+def emit(title: str, body: str) -> str:
+    """Print a benchmark report block to stdout and return it."""
+    block = f"\n{'=' * 72}\n{title}\n{'=' * 72}\n{body}\n"
+    print(block)
+    return block

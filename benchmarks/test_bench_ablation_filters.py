@@ -1,0 +1,141 @@
+"""Ablation benchmarks: what each filtering stage buys.
+
+These ablations quantify the design decisions DESIGN.md calls out:
+
+1. **Pre-check savings** — how many full trainings the compilation and
+   normalization checks avoid, and how the normalization threshold ``T``
+   trades off strictness vs. false rejections.
+2. **Early-stopping savings** — training episodes spent with and without the
+   early-stopping classifier inside the full Nada pipeline, and the quality of
+   the surviving best design.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.abr import synthetic_video
+from repro.analysis import render_table
+from repro.core import (
+    CandidatePool,
+    CompilationCheck,
+    Design,
+    DesignGenerator,
+    DesignStatus,
+    EarlyStoppingConfig,
+    FilterPipeline,
+    GenerationConfig,
+    NadaConfig,
+    NadaPipeline,
+    NormalizationCheck,
+)
+from repro.llm import SyntheticLLM
+from repro.traces import build_dataset
+
+from bench_scales import ABLATION_SCALE
+from conftest import emit
+
+
+# --------------------------------------------------------------------------- #
+# Ablation 1: pre-check savings and normalization-threshold sweep
+# --------------------------------------------------------------------------- #
+def _precheck_ablation(num_designs: int = 150):
+    client = SyntheticLLM("gpt-3.5", seed=7)
+    generator = DesignGenerator(client, GenerationConfig(base_seed=3))
+    designs = generator.generate_states(num_designs)
+    codes = [d.code for d in designs]
+
+    # Threshold sweep for the normalization check.
+    sweep_rows = []
+    for threshold in (1.0, 10.0, 100.0, 1e4, 1e8):
+        pool = [Design(kind="state", code=code) for code in codes]
+        pipeline = FilterPipeline(CompilationCheck(),
+                                  NormalizationCheck(threshold=threshold))
+        report = pipeline.apply(pool)
+        sweep_rows.append([f"T = {threshold:g}", report.compilable,
+                           report.well_normalized,
+                           f"{report.well_normalized_fraction:.1%}"])
+    return sweep_rows, designs
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_precheck_threshold_sweep(benchmark, report_file):
+    sweep_rows, designs = benchmark.pedantic(_precheck_ablation, rounds=1,
+                                             iterations=1)
+    table = render_table(
+        ["Normalization threshold", "Compilable", "Pass both checks", "Pass rate"],
+        sweep_rows,
+        title="Ablation — normalization-check threshold sweep (GPT-3.5 profile)")
+    report_file("ablation_precheck_threshold", table)
+    emit("Ablation: normalization threshold sweep", table)
+
+    pass_counts = [row[2] for row in sweep_rows]
+    # A stricter threshold can only reject more designs (monotone pass counts).
+    assert pass_counts == sorted(pass_counts)
+    # The paper's threshold (T = 100) rejects the raw-bytes designs but keeps
+    # a meaningful fraction of candidates.
+    t100 = dict((row[0], row) for row in sweep_rows)["T = 100"]
+    assert 0 < t100[2] < len(designs)
+
+
+# --------------------------------------------------------------------------- #
+# Ablation 2: early-stopping compute savings inside the full pipeline
+# --------------------------------------------------------------------------- #
+def _pipeline_cost(use_early_stopping: bool):
+    train, test = build_dataset("fcc", seed=0, scale=ABLATION_SCALE.dataset_scale)
+    video = synthetic_video("standard", num_chunks=ABLATION_SCALE.num_chunks, seed=0)
+    config = NadaConfig(
+        target="state",
+        num_designs=ABLATION_SCALE.num_designs,
+        llm="gpt-4",
+        evaluation=ABLATION_SCALE.evaluation_config(),
+        use_early_stopping=use_early_stopping,
+        bootstrap_fraction=0.4,
+        min_bootstrap_designs=4,
+        early_stopping=EarlyStoppingConfig(
+            reward_prefix_length=6, training_epochs=80,
+            top_fraction=0.2, smoothed_fraction=0.5),
+        seed=0,
+    )
+    result = NadaPipeline(video, train, test, config=config).run()
+    episodes_trained = sum(len(d.reward_history) for d in result.pool)
+    return result, episodes_trained
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_early_stopping_savings(benchmark, report_file):
+    def run_both():
+        with_es, cost_with = _pipeline_cost(True)
+        without_es, cost_without = _pipeline_cost(False)
+        return with_es, cost_with, without_es, cost_without
+
+    with_es, cost_with, without_es, cost_without = benchmark.pedantic(
+        run_both, rounds=1, iterations=1)
+
+    savings = (1.0 - cost_with / cost_without) if cost_without else 0.0
+    rows = [
+        ["without early stopping", cost_without,
+         len(without_es.pool.surviving_prechecks()), 0,
+         f"{without_es.best_score:.3f}" if without_es.best_score is not None else "-"],
+        ["with early stopping", cost_with,
+         with_es.fully_trained, len(with_es.early_stopped_designs),
+         f"{with_es.best_score:.3f}" if with_es.best_score is not None else "-"],
+    ]
+    table = render_table(
+        ["Pipeline", "Training episodes", "Fully trained", "Early stopped",
+         "Best score"],
+        rows,
+        title=f"Ablation — early-stopping compute savings "
+              f"(episode savings: {savings:.1%})")
+    report_file("ablation_early_stopping_savings", table)
+    emit("Ablation: early-stopping compute savings", table)
+
+    # Early stopping never costs more training than full evaluation.
+    assert cost_with <= cost_without
+    # Both pipelines still surface a usable best design.
+    assert without_es.best_score is not None
+    assert with_es.best_score is not None
+    # The early-stopped pipeline's best design is not drastically worse.
+    tolerance = 0.25 * abs(without_es.best_score) + 0.1
+    assert with_es.best_score >= without_es.best_score - tolerance

@@ -1,0 +1,79 @@
+"""Benchmark: §4 — qualitative insights from the winning generated designs.
+
+Section 4 of the paper inspects the best states per environment and distils
+design principles: alternative normalization ranges/factors, feature removal
+in simple environments, smoothed/predicted throughput and download-time
+features, and — most notably — buffer-history features (trends, differences)
+that the original Pensieve state ignores entirely.
+
+This benchmark runs the state-design experiment on two environments, inspects
+the idea tags of the top designs, and checks that the winning ideas come from
+the same families the paper reports.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.analysis import render_table, run_component_experiment
+from repro.core import DesignKind
+
+from bench_scales import ABLATION_SCALE
+from conftest import emit
+
+ENVIRONMENTS = ("starlink", "4g")
+PROFILE = "gpt-4"
+TOP_K = 3
+
+#: The idea families §4 attributes to the winning designs.
+PAPER_IDEA_FAMILIES = {
+    "normalization": ("norm:signed", "norm:aggressive", "norm:mild"),
+    "feature_removal": ("drop:download_time", "drop:next_sizes"),
+    "throughput_engineering": ("feat:throughput_ema", "feat:throughput_variance",
+                               "feat:throughput_trend", "feat:predicted_throughput",
+                               "feat:predicted_download_time",
+                               "feat:download_time_ema"),
+    "buffer_history": ("feat:buffer_trend_savgol", "feat:buffer_diff",
+                       "feat:buffer_trend_poly"),
+}
+
+
+def _run_all():
+    return {env: run_component_experiment(env, "state", PROFILE, ABLATION_SCALE)
+            for env in ENVIRONMENTS}
+
+
+@pytest.mark.benchmark(group="insights")
+def test_insights_from_winning_designs(benchmark, report_file):
+    results = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+
+    rows = []
+    family_hits = Counter()
+    for environment, result in results.items():
+        top = result.pool.top_k(TOP_K, kind=DesignKind.STATE)
+        for rank, design in enumerate(top, start=1):
+            tags = ", ".join(design.tags) or "(baseline recipe)"
+            rows.append([environment.upper(), rank, f"{design.test_score:.3f}", tags])
+            for family, members in PAPER_IDEA_FAMILIES.items():
+                if any(tag in members for tag in design.tags):
+                    family_hits[family] += 1
+    table = render_table(
+        ["Dataset", "Rank", "Score", "Design ideas (tags)"], rows,
+        title="Insights — ideas present in the top generated states (cf. §4)")
+    families = render_table(
+        ["Idea family (from §4)", "Occurrences in top designs"],
+        [[family, family_hits.get(family, 0)] for family in PAPER_IDEA_FAMILIES],
+    )
+    body = table + "\n\n" + families
+    report_file("insights_designs", body)
+    emit("Insights: design ideas of the winning states", body)
+
+    # The winning designs draw on the idea families described in §4.
+    assert sum(family_hits.values()) >= 1, (
+        "no §4 idea family appears in any top design")
+    # Every environment produced at least one evaluated design to inspect.
+    for environment, result in results.items():
+        assert result.pool.top_k(1, kind=DesignKind.STATE), (
+            f"{environment}: no evaluated state designs")

@@ -1,0 +1,88 @@
+"""Benchmark: Table 1 — network trace datasets used in the study.
+
+Regenerates the dataset-statistics table (trace counts, total hours, mean
+throughput, training schedule) from the synthetic trace generators and checks
+that each environment's statistics land near the published values.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import render_table
+from repro.traces import (
+    ENVIRONMENTS,
+    PAPER_TABLE1,
+    build_dataset,
+    compute_dataset_stats,
+)
+
+from conftest import emit
+
+#: Scale of the generated datasets relative to the published ones.  The
+#: Starlink dataset is generated at full scale (it is small); the others at
+#: 20% so the benchmark stays fast.  Mean throughput is scale-invariant.
+DATASET_SCALES = {"fcc": 0.2, "starlink": 1.0, "4g": 0.2, "5g": 0.2}
+
+#: Acceptable relative error on mean throughput vs. the published column.
+THROUGHPUT_TOLERANCE = 0.45
+
+
+def _build_table1():
+    rows = []
+    stats_by_env = {}
+    for name, spec in ENVIRONMENTS.items():
+        scale = DATASET_SCALES[name]
+        train, test = build_dataset(name, seed=0, scale=scale)
+        stats = compute_dataset_stats(spec.display_name, train, test,
+                                      train_epochs=spec.train_epochs,
+                                      test_interval=spec.test_interval)
+        stats_by_env[name] = stats
+        paper = PAPER_TABLE1[name]
+        rows.append([
+            spec.display_name,
+            f"{stats.train_traces} ({paper.train_traces})",
+            f"{stats.train_hours:.1f} ({paper.train_hours})",
+            f"{stats.test_traces} ({paper.test_traces})",
+            f"{stats.test_hours:.1f} ({paper.test_hours})",
+            f"{stats.throughput_mbps:.1f} ({paper.throughput_mbps})",
+            f"{stats.train_epochs:,}",
+            str(stats.test_interval),
+        ])
+    table = render_table(
+        ["Dataset", "Train Traces", "Train Hours", "Test Traces", "Test Hours",
+         "Throughput (Mbps)", "Train Epochs", "Test Interval"],
+        rows,
+        title="Table 1 — measured (paper values in parentheses); "
+              f"dataset scales: {DATASET_SCALES}")
+    return table, stats_by_env
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_trace_datasets(benchmark, report_file):
+    table, stats_by_env = benchmark.pedantic(_build_table1, rounds=1, iterations=1)
+    report_file("table1_traces", table)
+    emit("Table 1: network trace datasets", table)
+
+    for name, stats in stats_by_env.items():
+        paper = PAPER_TABLE1[name]
+        scale = DATASET_SCALES[name]
+        # Trace counts follow the published counts at the chosen scale.
+        assert stats.train_traces == max(1, round(paper.train_traces * scale))
+        assert stats.test_traces == max(1, round(paper.test_traces * scale))
+        # Mean throughput matches the published characterization of the
+        # environment (this is what distinguishes FCC from 5G, etc.).
+        relative_error = abs(stats.throughput_mbps - paper.throughput_mbps) \
+            / paper.throughput_mbps
+        assert relative_error < THROUGHPUT_TOLERANCE, (
+            f"{name}: mean throughput {stats.throughput_mbps:.2f} vs "
+            f"published {paper.throughput_mbps}")
+        # The training schedule columns are configuration, reproduced exactly.
+        assert stats.train_epochs == paper.train_epochs
+        assert stats.test_interval == paper.test_interval
+
+    # The ordering of environments by bandwidth must match the paper:
+    # FCC < Starlink < 4G < 5G.
+    means = {name: stats.throughput_mbps for name, stats in stats_by_env.items()}
+    assert means["fcc"] < means["4g"] < means["5g"]
+    assert means["starlink"] < means["4g"]

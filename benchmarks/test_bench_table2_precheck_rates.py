@@ -1,0 +1,78 @@
+"""Benchmark: Table 2 — fraction of generated designs passing the pre-checks.
+
+The paper generates 3,000 state designs with each of GPT-3.5 and GPT-4 and
+reports how many pass the compilation check and the normalization check:
+
+    GPT-3.5: 41.2% compilable, 27.4% well normalized
+    GPT-4:   68.6% compilable, 50.2% well normalized
+
+This benchmark generates a smaller pool per profile through the same
+generation + filtering pipeline and checks that the measured rates land near
+those values and preserve the GPT-4 > GPT-3.5 ordering.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import render_table
+from repro.core import CandidatePool, DesignGenerator, FilterPipeline, GenerationConfig
+from repro.llm import SyntheticLLM
+
+from conftest import emit
+
+#: Designs generated per model profile (paper: 3,000).
+DESIGNS_PER_PROFILE = 250
+
+#: Published Table 2 fractions.
+PAPER_RATES = {
+    "gpt-3.5": {"compilable": 0.412, "normalized": 0.274},
+    "gpt-4": {"compilable": 0.686, "normalized": 0.502},
+}
+
+#: Allowed absolute deviation from the published fractions.
+TOLERANCE = 0.12
+
+
+def _run_generation(profile: str):
+    client = SyntheticLLM(profile, seed=123)
+    generator = DesignGenerator(client, GenerationConfig(base_seed=0))
+    pool = CandidatePool(generator.generate_states(DESIGNS_PER_PROFILE))
+    report = FilterPipeline().apply(pool)
+    return report
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_precheck_pass_rates(benchmark, report_file):
+    reports = benchmark.pedantic(
+        lambda: {profile: _run_generation(profile) for profile in PAPER_RATES},
+        rounds=1, iterations=1)
+
+    rows = []
+    for profile, report in reports.items():
+        paper = PAPER_RATES[profile]
+        rows.append([
+            f"Nada w/ {profile.upper()}",
+            f"{report.total}",
+            f"{report.compilable} ({report.compilable_fraction:.1%}; "
+            f"paper {paper['compilable']:.1%})",
+            f"{report.well_normalized} ({report.well_normalized_fraction:.1%}; "
+            f"paper {paper['normalized']:.1%})",
+        ])
+    table = render_table(["Nada", "Total", "Compilable", "Well Normalized"], rows,
+                         title=f"Table 2 — pre-check pass rates "
+                               f"({DESIGNS_PER_PROFILE} designs per profile)")
+    report_file("table2_precheck_rates", table)
+    emit("Table 2: compilation / normalization pass rates", table)
+
+    for profile, report in reports.items():
+        paper = PAPER_RATES[profile]
+        assert abs(report.compilable_fraction - paper["compilable"]) < TOLERANCE
+        assert abs(report.well_normalized_fraction - paper["normalized"]) < TOLERANCE
+        # Well-normalized designs are a subset of compilable designs.
+        assert report.well_normalized <= report.compilable
+
+    # GPT-4 outperforms GPT-3.5 on both checks (the paper's takeaway).
+    assert reports["gpt-4"].compilable_fraction > reports["gpt-3.5"].compilable_fraction
+    assert reports["gpt-4"].well_normalized_fraction > \
+        reports["gpt-3.5"].well_normalized_fraction

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""High-bandwidth 5G streaming: elevated bitrate ladder, simulation vs. emulation.
+
+4G/5G networks support far higher bitrates than the broadband settings ABR
+algorithms were tuned for, so the paper raises the bitrate ladder to YouTube's
+recommended settings (up to 53 Mbps) for those environments and validates the
+winning designs in emulation (dash.js over Mahimahi; here, the packet-level
+emulator).
+
+This example:
+
+1. builds a 5G trace set and a high-ladder video,
+2. trains the original Pensieve design and a Nada-generated alternative,
+3. evaluates both in the chunk-level simulator *and* the packet-level emulator,
+   reproducing the structure of Table 4 (emulation is harsher, but the
+   generated design still wins).
+
+Run with:  python examples/cellular_5g_streaming.py
+"""
+
+from __future__ import annotations
+
+from repro.abr import LinearQoE, synthetic_video
+from repro.analysis import (
+    ExperimentScale,
+    render_table,
+    run_emulation_comparison,
+)
+
+
+def main() -> None:
+    scale = ExperimentScale(
+        dataset_scale=0.04,
+        num_chunks=16,
+        train_epochs=60,
+        checkpoint_interval=15,
+        last_k_checkpoints=3,
+        num_seeds=1,
+        num_designs=10,
+        max_trained_designs=5,
+        seed=0,
+    )
+    video = synthetic_video("high", num_chunks=scale.num_chunks, seed=0)
+    print("5G scenario: bitrate ladder "
+          f"{[b // 1000 for b in video.bitrates_kbps]} Mbps, "
+          f"rebuffer penalty {LinearQoE(video.bitrates_kbps).rebuffer_penalty:.0f}")
+
+    result = run_emulation_comparison("5g", llm_profile="gpt-4", scale=scale)
+
+    rows = [
+        ["Original (Pensieve state)", f"{result.original_sim_score:.2f}",
+         f"{result.original_emu_score:.2f}"],
+        ["Nada best generated state", f"{result.best_sim_score:.2f}",
+         f"{result.best_emu_score:.2f}"],
+    ]
+    print()
+    print(render_table(["design", "simulation QoE", "emulation QoE"], rows,
+                       title="5G — simulation vs. packet-level emulation"))
+    if result.sim_improvement is not None:
+        print(f"\nimprovement in simulation : {result.sim_improvement:+.1f}%")
+    if result.emu_improvement is not None:
+        print(f"improvement in emulation  : {result.emu_improvement:+.1f}%")
+    print("\nNote: emulation scores are systematically lower because TCP slow "
+          "start, idle-window decay and HTTP overheads reduce the usable "
+          "throughput — the same qualitative gap the paper reports between "
+          "Table 3 and Table 4.")
+
+
+if __name__ == "__main__":
+    main()

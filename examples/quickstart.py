@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Quickstart: run a small Nada campaign end to end.
+
+This example reproduces the paper's workflow (Figure 1) at laptop scale:
+
+1. generate candidate RL-state designs with the (synthetic) LLM,
+2. filter them with the compilation and normalization pre-checks,
+3. train the survivors in the chunk-level ABR simulator,
+4. report the best design against the original Pensieve state.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.abr import synthetic_video
+from repro.analysis import render_table
+from repro.core import EvaluationConfig, NadaConfig, NadaPipeline
+from repro.rl import A2CConfig
+from repro.traces import build_dataset
+
+
+def main() -> None:
+    # --- 1. Build the environment: FCC-like broadband traces + a short video.
+    train_traces, test_traces = build_dataset("fcc", seed=0, scale=0.04)
+    video = synthetic_video("standard", num_chunks=16, seed=0)
+    print(f"environment: {len(train_traces)} training traces, "
+          f"{len(test_traces)} test traces, video of {video.num_chunks} chunks")
+
+    # --- 2. Configure the campaign (scaled down from the paper's 3,000 designs
+    #        and 40,000 training epochs; the pipeline stages are identical).
+    config = NadaConfig(
+        target="state",
+        num_designs=10,
+        llm="gpt-4",                 # synthetic GPT-4 profile (offline)
+        evaluation=EvaluationConfig(
+            train_epochs=60,
+            checkpoint_interval=15,
+            last_k_checkpoints=3,
+            num_seeds=2,
+            a2c=A2CConfig(entropy_anneal_epochs=30),
+        ),
+        use_early_stopping=True,
+        bootstrap_fraction=0.5,
+        min_bootstrap_designs=3,
+        seed=0,
+    )
+
+    # --- 3. Run the pipeline.
+    pipeline = NadaPipeline(video, train_traces, test_traces, config=config)
+    result = pipeline.run()
+
+    # --- 4. Report.
+    print()
+    print(result.summary())
+    print()
+    rows = []
+    for design in result.pool.top_k(3):
+        rows.append([design.design_id, ", ".join(design.tags) or "-",
+                     f"{design.test_score:.3f}"])
+    if rows:
+        print(render_table(["design", "idea tags", "test score"], rows,
+                           title="Top generated state designs"))
+    if result.best_design is not None:
+        print()
+        print("Best generated state function:")
+        print(result.best_design.code)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+"""Nada reproduction: designing network algorithms via large language models.
+
+Top-level package; see the subpackages for the individual systems:
+
+- :mod:`repro.core` — the Nada framework (generation, filtering, evaluation).
+- :mod:`repro.llm` — LLM substrate (synthetic design generator, embeddings).
+- :mod:`repro.nn` — NumPy autograd and neural-network layers.
+- :mod:`repro.rl` — actor-critic training.
+- :mod:`repro.abr` — adaptive-bitrate streaming substrate (Pensieve).
+- :mod:`repro.emulation` — packet-level emulation substrate.
+- :mod:`repro.traces` — network bandwidth traces.
+- :mod:`repro.analysis` — metrics, tables and experiment drivers.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

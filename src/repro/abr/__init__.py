@@ -1,0 +1,79 @@
+"""ABR (adaptive bitrate streaming) substrate: video, QoE, simulator, states,
+network architectures and classic baselines.
+
+This is the case-study domain of the paper: the original Pensieve algorithm is
+decomposed into its state representation (:mod:`repro.abr.state`) and its
+actor-critic architecture (:mod:`repro.abr.networks`), and the chunk-level
+simulator (:mod:`repro.abr.env`) provides the training and evaluation
+environment.
+"""
+
+from .baselines import (
+    BASELINE_POLICIES,
+    BolaPolicy,
+    BufferBasedPolicy,
+    FixedBitratePolicy,
+    RandomPolicy,
+    RateBasedPolicy,
+    RobustMPCPolicy,
+    make_baseline,
+)
+from .env import (
+    HISTORY_LENGTH,
+    ChunkLevelSimulator,
+    ChunkRecord,
+    ChunkStepResult,
+    Observation,
+    SessionResult,
+    SimulatorConfig,
+    StreamingSession,
+    run_session,
+)
+from .networks import (
+    NETWORK_BUILDER_NAME,
+    ORIGINAL_NETWORK_SOURCE,
+    ActorCriticNetwork,
+    GenericActorCritic,
+    NetworkBuilder,
+    PensieveNetwork,
+    original_network_builder,
+)
+from .qoe import HDQoE, LinearQoE, LogQoE, QoEMetric, make_qoe
+from .state import (
+    ORIGINAL_STATE_SOURCE,
+    STATE_FUNCTION_NAME,
+    STATE_FUNCTION_PARAMETERS,
+    StateFunction,
+    original_state_function,
+)
+from .video import (
+    BITRATE_LADDERS_KBPS,
+    CHUNK_DURATION_S,
+    DEFAULT_CHUNK_COUNT,
+    HIGH_LADDER_KBPS,
+    STANDARD_LADDER_KBPS,
+    Video,
+    synthetic_video,
+)
+
+__all__ = [
+    # video
+    "Video", "synthetic_video", "BITRATE_LADDERS_KBPS", "STANDARD_LADDER_KBPS",
+    "HIGH_LADDER_KBPS", "CHUNK_DURATION_S", "DEFAULT_CHUNK_COUNT",
+    # qoe
+    "QoEMetric", "LinearQoE", "LogQoE", "HDQoE", "make_qoe",
+    # env
+    "SimulatorConfig", "ChunkLevelSimulator", "ChunkStepResult", "Observation",
+    "ChunkRecord", "SessionResult", "StreamingSession", "run_session",
+    "HISTORY_LENGTH",
+    # state
+    "StateFunction", "original_state_function", "ORIGINAL_STATE_SOURCE",
+    "STATE_FUNCTION_NAME", "STATE_FUNCTION_PARAMETERS",
+    # networks
+    "ActorCriticNetwork", "PensieveNetwork", "GenericActorCritic",
+    "original_network_builder", "ORIGINAL_NETWORK_SOURCE",
+    "NETWORK_BUILDER_NAME", "NetworkBuilder",
+    # baselines
+    "FixedBitratePolicy", "RandomPolicy", "BufferBasedPolicy", "RateBasedPolicy",
+    "BolaPolicy", "RobustMPCPolicy", "BASELINE_POLICIES", "make_baseline",
+]

@@ -1,0 +1,144 @@
+"""Quality-of-experience (QoE) reward functions.
+
+The paper adopts Pensieve's linear QoE metric ("QoE_lin") as the RL reward:
+
+    QoE = q(R_t) - mu * T_rebuffer - |q(R_t) - q(R_{t-1})|
+
+where ``q(R) = R`` in Mbit/s, ``mu`` is the rebuffering penalty (set to the
+highest bitrate of the ladder in Mbit/s, as in Pensieve), and the last term
+penalizes quality switches.  The logarithmic and HD variants from the MPC/
+Pensieve literature are provided as well so that alternative reward shaping
+can be explored.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = ["QoEMetric", "LinearQoE", "LogQoE", "HDQoE", "make_qoe", "QOE_METRICS"]
+
+
+@dataclass
+class ChunkQoE:
+    """Per-chunk QoE breakdown returned by :meth:`QoEMetric.chunk_reward_detail`."""
+
+    quality: float
+    rebuffer_penalty: float
+    smoothness_penalty: float
+
+    @property
+    def total(self) -> float:
+        return self.quality - self.rebuffer_penalty - self.smoothness_penalty
+
+
+class QoEMetric:
+    """Base class for per-chunk QoE rewards."""
+
+    def __init__(self, bitrates_kbps: Sequence[int],
+                 rebuffer_penalty: Optional[float] = None,
+                 smoothness_penalty: float = 1.0) -> None:
+        self.bitrates_kbps = tuple(int(b) for b in bitrates_kbps)
+        if not self.bitrates_kbps:
+            raise ValueError("bitrate ladder must not be empty")
+        self.bitrates_mbps = np.asarray(self.bitrates_kbps, dtype=np.float64) / 1000.0
+        # Pensieve sets the rebuffer penalty to the top bitrate in Mbps.
+        self.rebuffer_penalty = (float(rebuffer_penalty) if rebuffer_penalty is not None
+                                 else float(self.bitrates_mbps[-1]))
+        self.smoothness_penalty = float(smoothness_penalty)
+
+    # -- quality mapping -------------------------------------------------
+    def quality(self, bitrate_index: int) -> float:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    # -- rewards ---------------------------------------------------------
+    def chunk_reward_detail(self, bitrate_index: int, rebuffer_s: float,
+                            previous_bitrate_index: Optional[int]) -> ChunkQoE:
+        """Compute the QoE breakdown for a single chunk."""
+        if not 0 <= bitrate_index < len(self.bitrates_kbps):
+            raise IndexError(f"bitrate index {bitrate_index} out of range")
+        if rebuffer_s < 0:
+            raise ValueError("rebuffering time cannot be negative")
+        quality = self.quality(bitrate_index)
+        rebuffer = self.rebuffer_penalty * rebuffer_s
+        if previous_bitrate_index is None:
+            smooth = 0.0
+        else:
+            smooth = self.smoothness_penalty * abs(
+                quality - self.quality(previous_bitrate_index))
+        return ChunkQoE(quality=quality, rebuffer_penalty=rebuffer,
+                        smoothness_penalty=smooth)
+
+    def chunk_reward(self, bitrate_index: int, rebuffer_s: float,
+                     previous_bitrate_index: Optional[int]) -> float:
+        """Scalar per-chunk reward (the RL reward used during training)."""
+        return self.chunk_reward_detail(bitrate_index, rebuffer_s,
+                                        previous_bitrate_index).total
+
+    def session_reward(self, bitrate_indices: Sequence[int],
+                       rebuffer_times_s: Sequence[float]) -> float:
+        """Mean per-chunk reward over a whole streaming session."""
+        if len(bitrate_indices) != len(rebuffer_times_s):
+            raise ValueError("bitrate and rebuffer sequences must be equal length")
+        if not bitrate_indices:
+            return 0.0
+        total = 0.0
+        previous: Optional[int] = None
+        for index, rebuffer in zip(bitrate_indices, rebuffer_times_s):
+            total += self.chunk_reward(index, rebuffer, previous)
+            previous = index
+        return total / len(bitrate_indices)
+
+
+class LinearQoE(QoEMetric):
+    """``QoE_lin``: quality equals the bitrate in Mbit/s (the paper's reward)."""
+
+    def quality(self, bitrate_index: int) -> float:
+        return float(self.bitrates_mbps[bitrate_index])
+
+
+class LogQoE(QoEMetric):
+    """``QoE_log``: quality is ``log(R / R_min)``, emphasizing low-end gains."""
+
+    def quality(self, bitrate_index: int) -> float:
+        lowest = self.bitrates_mbps[0]
+        return float(np.log(self.bitrates_mbps[bitrate_index] / lowest))
+
+
+class HDQoE(QoEMetric):
+    """``QoE_hd``: piecewise-constant quality that rewards HD renditions.
+
+    Follows the MPC paper's assignment: the lower half of the ladder gets
+    small scores, the upper half increasingly large ones.
+    """
+
+    def __init__(self, bitrates_kbps: Sequence[int],
+                 rebuffer_penalty: Optional[float] = None,
+                 smoothness_penalty: float = 1.0) -> None:
+        super().__init__(bitrates_kbps, rebuffer_penalty, smoothness_penalty)
+        n = len(self.bitrates_kbps)
+        # Low renditions get 1..; the top rendition gets ~3x the ladder length.
+        self._scores = np.array([1.0 + 2.0 * i for i in range(n)])
+        if rebuffer_penalty is None:
+            self.rebuffer_penalty = float(self._scores[-1])
+
+    def quality(self, bitrate_index: int) -> float:
+        return float(self._scores[bitrate_index])
+
+
+QOE_METRICS = {
+    "lin": LinearQoE,
+    "linear": LinearQoE,
+    "log": LogQoE,
+    "hd": HDQoE,
+}
+
+
+def make_qoe(name: str, bitrates_kbps: Sequence[int], **kwargs) -> QoEMetric:
+    """Construct a QoE metric by name ("lin", "log" or "hd")."""
+    key = name.lower()
+    if key not in QOE_METRICS:
+        raise KeyError(f"unknown QoE metric {name!r}; known: {sorted(set(QOE_METRICS))}")
+    return QOE_METRICS[key](bitrates_kbps, **kwargs)

@@ -1,0 +1,35 @@
+"""Analysis utilities: metrics, tables, curves and shared experiment drivers."""
+
+from .curves import CurveComparison, TrainingCurve, render_ascii_curves
+from .experiments import (
+    CombinationExperimentResult,
+    ComponentExperimentResult,
+    EmulationComparisonResult,
+    EnvironmentSetup,
+    ExperimentScale,
+    build_design_corpus,
+    build_environment,
+    run_combination_experiment,
+    run_component_experiment,
+    run_emulation_comparison,
+)
+from .metrics import (
+    cumulative_best,
+    improvement_percent,
+    median_of_seeds,
+    moving_average,
+    smoothed_score,
+)
+from .tables import format_improvement, format_score, render_table
+
+__all__ = [
+    "TrainingCurve", "CurveComparison", "render_ascii_curves",
+    "ExperimentScale", "EnvironmentSetup", "build_environment",
+    "ComponentExperimentResult", "run_component_experiment",
+    "CombinationExperimentResult", "run_combination_experiment",
+    "EmulationComparisonResult", "run_emulation_comparison",
+    "build_design_corpus",
+    "smoothed_score", "median_of_seeds", "improvement_percent",
+    "moving_average", "cumulative_best",
+    "render_table", "format_improvement", "format_score",
+]

@@ -1,0 +1,72 @@
+"""Metrics shared by the experiment drivers and benchmarks."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "smoothed_score",
+    "median_of_seeds",
+    "improvement_percent",
+    "moving_average",
+    "cumulative_best",
+]
+
+
+def smoothed_score(checkpoint_scores: Sequence[float], last_k: int = 10) -> float:
+    """Average of the last ``last_k`` checkpoint scores (the §3.1 smoothing)."""
+    scores = [float(s) for s in checkpoint_scores]
+    if not scores:
+        return float("-inf")
+    if last_k < 1:
+        raise ValueError("last_k must be at least 1")
+    return float(np.mean(scores[-last_k:]))
+
+
+def median_of_seeds(per_seed_scores: Sequence[float]) -> float:
+    """Median of per-seed smoothed scores (the §3.1 aggregation)."""
+    finite = [float(s) for s in per_seed_scores if np.isfinite(s)]
+    if not finite:
+        return float("-inf")
+    return float(np.median(finite))
+
+
+def improvement_percent(original: float, improved: float) -> Optional[float]:
+    """Relative improvement in percent, e.g. 13.0 for a 13% gain.
+
+    Matches the "Impr." columns of Tables 3-5: the improvement is measured
+    relative to the magnitude of the original score (the paper's Starlink
+    emulation row has a negative original score, which this handles).
+    Returns ``None`` when the original score is too close to zero for a
+    relative number to be meaningful.
+    """
+    if not np.isfinite(original) or not np.isfinite(improved):
+        return None
+    baseline = abs(original)
+    if baseline < 1e-12:
+        return None
+    return float((improved - original) / baseline * 100.0)
+
+
+def moving_average(values: Sequence[float], window: int) -> np.ndarray:
+    """Simple trailing moving average (used to smooth training curves)."""
+    if window < 1:
+        raise ValueError("window must be at least 1")
+    array = np.asarray(list(values), dtype=np.float64)
+    if array.size == 0:
+        return array
+    result = np.empty_like(array)
+    for i in range(array.size):
+        start = max(0, i - window + 1)
+        result[i] = array[start:i + 1].mean()
+    return result
+
+
+def cumulative_best(values: Sequence[float]) -> np.ndarray:
+    """Running maximum (used for best-so-far curves in ablations)."""
+    array = np.asarray(list(values), dtype=np.float64)
+    if array.size == 0:
+        return array
+    return np.maximum.accumulate(array)

@@ -1,0 +1,63 @@
+"""Plain-text table rendering for benchmark output.
+
+The benchmark harness prints the same rows the paper's tables report; this
+module renders them as aligned ASCII / GitHub-markdown tables so the console
+output of ``pytest benchmarks/`` is directly comparable to the paper.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+__all__ = ["render_table", "format_improvement", "format_score"]
+
+
+def format_score(value: Optional[float], digits: int = 3) -> str:
+    """Format a score value, tolerating None/NaN."""
+    if value is None:
+        return "-"
+    try:
+        numeric = float(value)
+    except (TypeError, ValueError):
+        return str(value)
+    if numeric != numeric:  # NaN
+        return "-"
+    return f"{numeric:.{digits}f}"
+
+
+def format_improvement(percent: Optional[float]) -> str:
+    """Format a percentage improvement as in the paper ("13.0%", "–")."""
+    if percent is None:
+        return "–"
+    return f"{percent:.1f}%"
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: Optional[str] = None, markdown: bool = False) -> str:
+    """Render ``rows`` under ``headers`` as an aligned text table."""
+    headers = [str(h) for h in headers]
+    text_rows: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ValueError("every row must have one cell per header")
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        padded = [cell.ljust(widths[i]) for i, cell in enumerate(cells)]
+        if markdown:
+            return "| " + " | ".join(padded) + " |"
+        return "  ".join(padded)
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(headers))
+    if markdown:
+        lines.append("| " + " | ".join("-" * w for w in widths) + " |")
+    else:
+        lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in text_rows)
+    return "\n".join(lines)

@@ -1,0 +1,159 @@
+"""Command-line interface for the Nada reproduction.
+
+Three subcommands cover the common workflows:
+
+``run``
+    Run a Nada campaign in one of the paper's environments and print the
+    resulting summary and best design.
+
+``traces``
+    Generate a synthetic trace dataset (train/test split) and write it to disk
+    in Pensieve format (one ``.log`` file per trace).
+
+``baselines``
+    Evaluate the classic ABR baselines (and optionally a freshly trained
+    original-Pensieve agent) on an environment's test traces.
+
+Invoke via ``python -m repro <subcommand> --help``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .abr import make_baseline, run_session, synthetic_video
+from .analysis import render_table
+from .core import EvaluationConfig, NadaConfig, NadaPipeline
+from .rl import A2CConfig
+from .traces import ENVIRONMENTS, build_dataset, list_environments, save_traceset
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Create the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Nada (HotNets 2024) reproduction: LLM-driven network "
+                    "algorithm design for ABR streaming.")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run = subparsers.add_parser("run", help="run a Nada design campaign")
+    run.add_argument("--environment", choices=list_environments(), default="fcc")
+    run.add_argument("--target", choices=["state", "network", "both"],
+                     default="state")
+    run.add_argument("--llm", choices=["gpt-3.5", "gpt-4"], default="gpt-4",
+                     help="synthetic LLM profile to use")
+    run.add_argument("--num-designs", type=int, default=10)
+    run.add_argument("--train-epochs", type=int, default=60)
+    run.add_argument("--checkpoint-interval", type=int, default=15)
+    run.add_argument("--num-seeds", type=int, default=2)
+    run.add_argument("--num-chunks", type=int, default=16)
+    run.add_argument("--dataset-scale", type=float, default=0.05,
+                     help="fraction of the published dataset size to generate")
+    run.add_argument("--no-early-stopping", action="store_true")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--show-code", action="store_true",
+                     help="print the best design's source code")
+
+    traces = subparsers.add_parser("traces", help="generate a trace dataset")
+    traces.add_argument("--environment", choices=list_environments(),
+                        default="fcc")
+    traces.add_argument("--scale", type=float, default=0.1)
+    traces.add_argument("--seed", type=int, default=0)
+    traces.add_argument("--output", required=True,
+                        help="directory for the generated .log trace files")
+
+    baselines = subparsers.add_parser(
+        "baselines", help="evaluate classic ABR baselines on an environment")
+    baselines.add_argument("--environment", choices=list_environments(),
+                           default="fcc")
+    baselines.add_argument("--dataset-scale", type=float, default=0.05)
+    baselines.add_argument("--num-chunks", type=int, default=16)
+    baselines.add_argument("--seed", type=int, default=0)
+    baselines.add_argument("--policies", nargs="+",
+                           default=["bba", "rate_based", "bola", "mpc"])
+    return parser
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    config = NadaConfig(
+        target=args.target,
+        num_designs=args.num_designs,
+        llm=args.llm,
+        evaluation=EvaluationConfig(
+            train_epochs=args.train_epochs,
+            checkpoint_interval=args.checkpoint_interval,
+            last_k_checkpoints=max(1, min(10, args.train_epochs
+                                          // max(args.checkpoint_interval, 1))),
+            num_seeds=args.num_seeds,
+            a2c=A2CConfig(entropy_anneal_epochs=max(args.train_epochs // 2, 1)),
+        ),
+        use_early_stopping=not args.no_early_stopping,
+        seed=args.seed,
+    )
+    pipeline = NadaPipeline.for_environment(
+        args.environment, config=config, dataset_scale=args.dataset_scale,
+        num_chunks=args.num_chunks, seed=args.seed)
+    print(f"running Nada on {args.environment} "
+          f"(target={args.target}, llm={args.llm}, designs={args.num_designs})")
+    result = pipeline.run()
+    print()
+    print(result.summary())
+    if args.show_code and result.best_design is not None:
+        print()
+        print(result.best_design.code)
+    return 0
+
+
+def _command_traces(args: argparse.Namespace) -> int:
+    train, test = build_dataset(args.environment, seed=args.seed, scale=args.scale)
+    train_dir = os.path.join(args.output, "train")
+    test_dir = os.path.join(args.output, "test")
+    save_traceset(train, train_dir)
+    save_traceset(test, test_dir)
+    print(f"wrote {len(train)} training traces to {train_dir}")
+    print(f"wrote {len(test)} test traces to {test_dir}")
+    print(f"mean throughput: train {train.mean_throughput_mbps:.2f} Mbps, "
+          f"test {test.mean_throughput_mbps:.2f} Mbps")
+    return 0
+
+
+def _command_baselines(args: argparse.Namespace) -> int:
+    spec = ENVIRONMENTS[args.environment]
+    _, test = build_dataset(args.environment, seed=args.seed,
+                            scale=args.dataset_scale)
+    video = synthetic_video(spec.bitrate_ladder, num_chunks=args.num_chunks,
+                            seed=args.seed)
+    rows = []
+    for name in args.policies:
+        scores = []
+        for trace in test:
+            policy = make_baseline(name)
+            scores.append(run_session(policy, video, trace).mean_reward)
+        rows.append([name, f"{float(np.mean(scores)):.3f}"])
+    print(render_table(["baseline", "mean QoE per chunk"], rows,
+                       title=f"{spec.display_name} test traces "
+                             f"({len(test)} traces, {video.num_chunks} chunks)"))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "run": _command_run,
+        "traces": _command_traces,
+        "baselines": _command_baselines,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,154 @@
+"""Sandboxed compilation and execution of LLM-generated code blocks.
+
+Generated designs arrive as Python source strings.  This module turns them
+into callables:
+
+* :func:`load_state_function` — compiles a ``state_func`` code block and wraps
+  it in a :class:`~repro.abr.state.StateFunction`;
+* :func:`load_network_builder` — compiles a ``build_network`` code block and
+  returns a builder callable.
+
+Execution happens inside a restricted namespace: generated code can use NumPy,
+SciPy, ``math``/``statistics`` from the standard library and — for network
+code — the ``nn_library`` facade over :mod:`repro.abr.networks` and
+:mod:`repro.nn`.  Imports of anything else (os, subprocess, sockets, ...)
+are rejected.  The sandbox is a safety and reproducibility measure, not a
+hard security boundary, mirroring how the paper executed generated code inside
+the Pensieve code base.
+"""
+
+from __future__ import annotations
+
+import builtins
+import math
+import statistics
+import types
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from ..abr import networks as abr_networks
+from ..abr.networks import NETWORK_BUILDER_NAME
+from ..abr.state import STATE_FUNCTION_NAME, StateFunction
+from .. import nn as nn_package
+
+__all__ = [
+    "CodeBlockError",
+    "ALLOWED_IMPORT_ROOTS",
+    "compile_code_block",
+    "load_state_function",
+    "load_network_builder",
+]
+
+
+class CodeBlockError(Exception):
+    """Raised when a generated code block cannot be compiled or executed."""
+
+
+#: Top-level packages generated code is allowed to import.
+ALLOWED_IMPORT_ROOTS = frozenset({
+    "numpy", "scipy", "math", "statistics", "collections", "itertools",
+    "functools", "random", "typing", "dataclasses",
+})
+
+
+def _restricted_import(name: str, globals=None, locals=None, fromlist=(), level=0):
+    root = name.split(".")[0]
+    if root not in ALLOWED_IMPORT_ROOTS:
+        raise CodeBlockError(
+            f"import of {name!r} is not allowed in generated code "
+            f"(allowed roots: {sorted(ALLOWED_IMPORT_ROOTS)})")
+    return __import__(name, globals, locals, fromlist, level)
+
+
+class _NNLibraryFacade(types.SimpleNamespace):
+    """The ``nn_library`` module exposed to generated network code."""
+
+
+def _make_nn_library() -> _NNLibraryFacade:
+    return _NNLibraryFacade(
+        PensieveNetwork=abr_networks.PensieveNetwork,
+        GenericActorCritic=abr_networks.GenericActorCritic,
+        ActorCriticNetwork=abr_networks.ActorCriticNetwork,
+        nn=nn_package,
+    )
+
+
+def _sandbox_globals(extra: Optional[Dict[str, object]] = None) -> Dict[str, object]:
+    safe_builtins = {
+        name: getattr(builtins, name)
+        for name in (
+            "abs", "all", "any", "bool", "dict", "enumerate", "filter", "float",
+            "int", "len", "list", "map", "max", "min", "print", "range",
+            "reversed", "round", "set", "sorted", "str", "sum", "tuple", "zip",
+            "isinstance", "issubclass", "getattr", "hasattr", "setattr",
+            "Exception", "ValueError", "TypeError", "IndexError", "KeyError",
+            "RuntimeError", "ZeroDivisionError", "ArithmeticError",
+            "StopIteration", "NotImplementedError", "object", "super", "type",
+            "staticmethod", "classmethod", "property", "slice", "divmod", "pow",
+            "repr", "format", "iter", "next", "frozenset", "complex", "bytes",
+            "True", "False", "None",
+        )
+        if hasattr(builtins, name)
+    }
+    safe_builtins["__import__"] = _restricted_import
+    sandbox: Dict[str, object] = {
+        "__builtins__": safe_builtins,
+        "__name__": "generated_design",
+        "np": np,
+        "numpy": np,
+        "math": math,
+        "statistics": statistics,
+    }
+    if extra:
+        sandbox.update(extra)
+    return sandbox
+
+
+def compile_code_block(code: str, expected_name: str,
+                       extra_globals: Optional[Dict[str, object]] = None,
+                       ) -> Callable:
+    """Compile ``code`` and return the callable named ``expected_name``.
+
+    Raises:
+        CodeBlockError: on syntax errors, execution errors, a missing
+            definition, or a definition that is not callable.
+    """
+    if not code or not code.strip():
+        raise CodeBlockError("empty code block")
+    try:
+        compiled = compile(code, filename="<generated-design>", mode="exec")
+    except SyntaxError as exc:
+        raise CodeBlockError(f"syntax error: {exc}") from exc
+
+    namespace = _sandbox_globals(extra_globals)
+    try:
+        exec(compiled, namespace)  # noqa: S102 - sandboxed by design
+    except CodeBlockError:
+        raise
+    except Exception as exc:
+        raise CodeBlockError(f"execution of code block failed: {exc!r}") from exc
+
+    if expected_name not in namespace:
+        raise CodeBlockError(f"code block does not define {expected_name!r}")
+    candidate = namespace[expected_name]
+    if not callable(candidate):
+        raise CodeBlockError(f"{expected_name!r} is defined but not callable")
+    return candidate
+
+
+def load_state_function(code: str, name: str = "generated-state") -> StateFunction:
+    """Compile a state-function code block into a :class:`StateFunction`."""
+    func = compile_code_block(code, STATE_FUNCTION_NAME)
+    return StateFunction(func, name=name)
+
+
+def load_network_builder(code: str) -> Callable:
+    """Compile a network-builder code block into a builder callable.
+
+    The returned callable has the signature
+    ``build_network(state_shape, num_actions, rng=None)``.
+    """
+    return compile_code_block(code, NETWORK_BUILDER_NAME,
+                              extra_globals={"nn_library": _make_nn_library(),
+                                             "nn": nn_package})

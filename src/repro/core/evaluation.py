@@ -1,0 +1,245 @@
+"""Training and evaluation of candidate designs (§3.1 protocol).
+
+This module implements:
+
+* :func:`instantiate_agent` — turn a (state design, network design) pair into
+  a runnable :class:`~repro.rl.agent.ABRAgent` (either side may be ``None``,
+  meaning "use the original Pensieve component");
+* :class:`DesignTrainer` — train one design in the chunk-level simulator,
+  recording the per-episode training rewards and periodic checkpoint test
+  scores, with optional early stopping;
+* :class:`TestScoreProtocol` — the paper's scoring rule: five independent
+  training sessions with different seeds, the average of the last ten
+  checkpoint scores within each session, and the median across sessions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..abr.env import SimulatorConfig, StreamingSession
+from ..abr.networks import original_network_builder
+from ..abr.qoe import LinearQoE, QoEMetric
+from ..abr.state import StateFunction
+from ..abr.video import Video
+from ..rl.a2c import A2CConfig, A2CTrainer, evaluate_agent
+from ..rl.agent import ABRAgent
+from ..traces.base import TraceSet
+from .codegen import load_network_builder, load_state_function
+from .design import Design, DesignKind, DesignStatus
+from .early_stopping import RewardTrajectoryClassifier
+
+__all__ = [
+    "EvaluationConfig",
+    "TrainingRun",
+    "instantiate_agent",
+    "DesignTrainer",
+    "TestScoreProtocol",
+]
+
+
+@dataclass(frozen=True)
+class EvaluationConfig:
+    """Training/evaluation schedule for one environment.
+
+    The defaults are scaled-down versions of the published schedule (Table 1
+    uses 40,000 epochs with checkpoints every 500); the ratio between
+    ``checkpoint_interval`` and ``train_epochs`` and the "average the last 10
+    checkpoints, median over 5 seeds" aggregation are preserved.
+    """
+
+    train_epochs: int = 200
+    checkpoint_interval: int = 20
+    last_k_checkpoints: int = 10
+    num_seeds: int = 5
+    a2c: A2CConfig = field(default_factory=A2CConfig)
+    simulator: SimulatorConfig = field(default_factory=SimulatorConfig)
+    #: Evaluate checkpoints greedily (argmax policy) as Pensieve does.
+    greedy_evaluation: bool = True
+
+    def scaled(self, factor: float) -> "EvaluationConfig":
+        """Return a copy with the training schedule scaled by ``factor``."""
+        if factor <= 0:
+            raise ValueError("scale factor must be positive")
+        return replace(
+            self,
+            train_epochs=max(1, int(round(self.train_epochs * factor))),
+            checkpoint_interval=max(1, int(round(self.checkpoint_interval * factor))),
+        )
+
+
+@dataclass
+class TrainingRun:
+    """Record of one training session of one design."""
+
+    seed: int
+    reward_history: List[float]
+    checkpoint_epochs: List[int]
+    checkpoint_scores: List[float]
+    early_stopped: bool = False
+
+    @property
+    def final_score(self) -> float:
+        """Average of the last-k checkpoint scores (k from the config)."""
+        if not self.checkpoint_scores:
+            return float("-inf")
+        return float(np.mean(self.checkpoint_scores))
+
+    def smoothed_score(self, last_k: int) -> float:
+        if not self.checkpoint_scores:
+            return float("-inf")
+        return float(np.mean(self.checkpoint_scores[-last_k:]))
+
+
+def instantiate_agent(state_design: Optional[Design],
+                      network_design: Optional[Design],
+                      video: Video,
+                      train_traces: TraceSet,
+                      seed: int = 0) -> ABRAgent:
+    """Build an agent from candidate designs (``None`` = original component)."""
+    rng = np.random.default_rng(seed)
+    if state_design is not None:
+        if DesignKind(state_design.kind) != DesignKind.STATE:
+            raise ValueError("state_design must be a STATE design")
+        state_function = load_state_function(state_design.code,
+                                             name=state_design.design_id)
+    else:
+        state_function = StateFunction.original()
+
+    if network_design is not None:
+        if DesignKind(network_design.kind) != DesignKind.NETWORK:
+            raise ValueError("network_design must be a NETWORK design")
+        builder = load_network_builder(network_design.code)
+    else:
+        builder = original_network_builder
+
+    sample_session = StreamingSession(video, train_traces[0])
+    sample_observation = sample_session.observe()
+    return ABRAgent.from_builder(state_function, builder, sample_observation,
+                                 video.num_bitrates, rng=rng)
+
+
+class DesignTrainer:
+    """Trains one design for one seed, with checkpointing and early stopping."""
+
+    def __init__(self, video: Video, train_traces: TraceSet, test_traces: TraceSet,
+                 config: Optional[EvaluationConfig] = None,
+                 qoe: Optional[QoEMetric] = None) -> None:
+        self.video = video
+        self.train_traces = train_traces
+        self.test_traces = test_traces
+        self.config = config or EvaluationConfig()
+        self.qoe = qoe or LinearQoE(video.bitrates_kbps)
+
+    # ------------------------------------------------------------------ #
+    def run(self, state_design: Optional[Design], network_design: Optional[Design],
+            seed: int,
+            early_stopping: Optional[RewardTrajectoryClassifier] = None,
+            early_stop_check_epoch: Optional[int] = None) -> TrainingRun:
+        """Train the design for one seed and return the full training record.
+
+        If ``early_stopping`` is provided, the classifier is consulted once the
+        training-reward prefix reaches ``early_stop_check_epoch`` episodes (or
+        the classifier's own prefix length); an unpromising design's training
+        is truncated at that point.
+        """
+        cfg = self.config
+        agent = instantiate_agent(state_design, network_design, self.video,
+                                  self.train_traces, seed=seed)
+        trainer = A2CTrainer(agent, self.video, self.train_traces, qoe=self.qoe,
+                             config=cfg.a2c, simulator_config=cfg.simulator,
+                             seed=seed)
+        check_epoch = early_stop_check_epoch
+        if early_stopping is not None and check_epoch is None:
+            check_epoch = early_stopping.config.reward_prefix_length
+
+        checkpoint_epochs: List[int] = []
+        checkpoint_scores: List[float] = []
+        early_stopped = False
+
+        for epoch in range(1, cfg.train_epochs + 1):
+            trainer.train_epoch()
+            if early_stopping is not None and epoch == check_epoch:
+                if early_stopping.should_stop(trainer.reward_history):
+                    early_stopped = True
+                    break
+            if epoch % cfg.checkpoint_interval == 0:
+                score = evaluate_agent(agent, self.video, self.test_traces,
+                                       qoe=self.qoe,
+                                       simulator_config=cfg.simulator,
+                                       greedy=cfg.greedy_evaluation,
+                                       seed=seed)
+                checkpoint_epochs.append(epoch)
+                checkpoint_scores.append(score)
+
+        return TrainingRun(
+            seed=seed,
+            reward_history=list(trainer.reward_history),
+            checkpoint_epochs=checkpoint_epochs,
+            checkpoint_scores=checkpoint_scores,
+            early_stopped=early_stopped,
+        )
+
+
+class TestScoreProtocol:
+    """The paper's aggregation: median over seeds of last-k checkpoint means."""
+
+    #: Not a pytest test class, despite the (domain-specific) name.
+    __test__ = False
+
+    def __init__(self, trainer: DesignTrainer, seeds: Optional[Sequence[int]] = None) -> None:
+        self.trainer = trainer
+        config = trainer.config
+        self.seeds = list(seeds) if seeds is not None else list(range(config.num_seeds))
+        if not self.seeds:
+            raise ValueError("at least one seed is required")
+
+    # ------------------------------------------------------------------ #
+    def run(self, state_design: Optional[Design], network_design: Optional[Design],
+            early_stopping: Optional[RewardTrajectoryClassifier] = None,
+            ) -> Tuple[float, List[TrainingRun]]:
+        """Train across all seeds; returns (test score, per-seed runs)."""
+        cfg = self.trainer.config
+        runs = [
+            self.trainer.run(state_design, network_design, seed=seed,
+                             early_stopping=early_stopping)
+            for seed in self.seeds
+        ]
+        completed = [run for run in runs if not run.early_stopped]
+        scoring_runs = completed if completed else runs
+        per_seed = [run.smoothed_score(cfg.last_k_checkpoints)
+                    for run in scoring_runs]
+        finite = [s for s in per_seed if np.isfinite(s)]
+        score = float(np.median(finite)) if finite else float("-inf")
+        return score, runs
+
+    def score_design(self, design: Design,
+                     early_stopping: Optional[RewardTrajectoryClassifier] = None,
+                     ) -> float:
+        """Evaluate one design (paired with the original other component)."""
+        kind = DesignKind(design.kind)
+        state = design if kind == DesignKind.STATE else None
+        network = design if kind == DesignKind.NETWORK else None
+        score, runs = self.run(state, network, early_stopping=early_stopping)
+        # Record the first seed's training history on the design for the
+        # early-stopping corpus and the training-curve figures.
+        if runs:
+            design.record_training(runs[0].reward_history,
+                                   runs[0].checkpoint_scores)
+            design.metadata["num_seeds"] = len(runs)
+            design.metadata["early_stopped_seeds"] = sum(r.early_stopped for r in runs)
+        if runs and all(run.early_stopped for run in runs):
+            design.status = DesignStatus.EARLY_STOPPED
+            design.metadata["prefix_reward_mean"] = float(
+                np.mean(runs[0].reward_history)) if runs[0].reward_history else 0.0
+            return float("-inf")
+        design.finalize(score)
+        return score
+
+    def score_original(self) -> float:
+        """Evaluate the unmodified Pensieve design under the same protocol."""
+        score, _ = self.run(None, None)
+        return score

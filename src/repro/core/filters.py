@@ -1,0 +1,236 @@
+"""Pre-check filters: compilation check and normalization check (§2.2).
+
+Both checks operate on raw code blocks:
+
+* the **compilation check** compiles the code in the sandbox and performs a
+  trial run on synthetic inputs — any exception rejects the design;
+* the **normalization check** fuzzes a state function with random inputs drawn
+  from wide but realistic ranges and rejects the design if any output feature
+  exceeds a threshold ``T`` (100 in the paper) in absolute value.
+
+The :class:`FilterPipeline` applies them in order to a
+:class:`~repro.core.design.CandidatePool` and records per-stage statistics
+(the quantities reported in Table 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from ..abr.env import HISTORY_LENGTH, Observation
+from ..abr.networks import ActorCriticNetwork
+from ..abr.state import StateFunction
+from ..abr.video import STANDARD_LADDER_KBPS
+from .. import nn
+from .codegen import CodeBlockError, load_network_builder, load_state_function
+from .design import Design, DesignKind, DesignStatus
+
+__all__ = [
+    "random_observation",
+    "CheckResult",
+    "CompilationCheck",
+    "NormalizationCheck",
+    "FilterPipeline",
+    "FilterReport",
+]
+
+#: Threshold on the absolute value of any state feature (the paper's T).
+DEFAULT_NORMALIZATION_THRESHOLD = 100.0
+
+
+def random_observation(rng: np.random.Generator,
+                       ladder_kbps: Tuple[int, ...] = STANDARD_LADDER_KBPS,
+                       history_length: int = HISTORY_LENGTH) -> Observation:
+    """Draw a random but plausible observation for fuzzing state functions.
+
+    Ranges intentionally cover both low-bandwidth (FCC/Starlink) and
+    high-bandwidth (4G/5G) regimes so that unnormalized features are exposed
+    regardless of the target environment.
+    """
+    ladder = np.asarray(ladder_kbps, dtype=np.float64)
+    bitrate_history = rng.choice(ladder, size=history_length)
+    throughput_history = rng.uniform(0.05, 120.0, size=history_length)
+    download_history = rng.uniform(0.05, 30.0, size=history_length)
+    buffer_history = rng.uniform(0.0, 60.0, size=history_length)
+    chunk_duration = 4.0
+    next_sizes = ladder * 1000.0 * chunk_duration / 8.0
+    next_sizes = next_sizes * rng.uniform(0.5, 1.8, size=len(ladder))
+    total_chunks = int(rng.integers(32, 120))
+    remaining = int(rng.integers(1, total_chunks + 1))
+    return Observation(
+        bitrate_kbps_history=bitrate_history.astype(float),
+        throughput_mbps_history=throughput_history,
+        download_time_s_history=download_history,
+        buffer_s_history=buffer_history,
+        next_chunk_sizes_bytes=next_sizes,
+        buffer_s=float(buffer_history[-1]),
+        remaining_chunks=remaining,
+        total_chunks=total_chunks,
+        last_bitrate_index=int(rng.integers(len(ladder))),
+        bitrate_ladder_kbps=ladder,
+        chunk_duration_s=chunk_duration,
+    )
+
+
+@dataclass
+class CheckResult:
+    """Outcome of running one check on one design."""
+
+    passed: bool
+    reason: str = ""
+
+
+class CompilationCheck:
+    """Trial-run check: the code must compile, execute and honour its contract."""
+
+    def __init__(self, num_trial_inputs: int = 3, seed: int = 0,
+                 num_actions: int = len(STANDARD_LADDER_KBPS)) -> None:
+        if num_trial_inputs < 1:
+            raise ValueError("at least one trial input is required")
+        self.num_trial_inputs = num_trial_inputs
+        self.seed = seed
+        self.num_actions = num_actions
+
+    # ------------------------------------------------------------------ #
+    def check(self, design: Design) -> CheckResult:
+        if design.kind == DesignKind.STATE:
+            return self._check_state(design.code)
+        return self._check_network(design.code)
+
+    def _check_state(self, code: str) -> CheckResult:
+        try:
+            state_function = load_state_function(code)
+        except CodeBlockError as exc:
+            return CheckResult(False, str(exc))
+        rng = np.random.default_rng(self.seed)
+        try:
+            for _ in range(self.num_trial_inputs):
+                state_function.reset_shape()
+                state_function(random_observation(rng))
+        except Exception as exc:  # noqa: BLE001 - any failure rejects the design
+            return CheckResult(False, f"trial run failed: {exc!r}")
+        return CheckResult(True)
+
+    def _check_network(self, code: str) -> CheckResult:
+        try:
+            builder = load_network_builder(code)
+        except CodeBlockError as exc:
+            return CheckResult(False, str(exc))
+        rng = np.random.default_rng(self.seed)
+        try:
+            # Build for the canonical Pensieve state shape and for a flat state,
+            # then run a forward pass on a small batch for each.
+            for shape in ((6, HISTORY_LENGTH), (12,)):
+                network = builder(shape, self.num_actions,
+                                  rng=np.random.default_rng(self.seed))
+                if not isinstance(network, ActorCriticNetwork):
+                    return CheckResult(
+                        False, "build_network did not return an ActorCriticNetwork")
+                batch = nn.tensor(rng.normal(size=(2, *shape)))
+                logits, value = network.forward(batch)
+                if logits.shape != (2, self.num_actions):
+                    return CheckResult(
+                        False, f"policy logits have shape {logits.shape}, "
+                               f"expected (2, {self.num_actions})")
+                if value.shape != (2,):
+                    return CheckResult(
+                        False, f"value output has shape {value.shape}, expected (2,)")
+                if not (np.all(np.isfinite(logits.numpy()))
+                        and np.all(np.isfinite(value.numpy()))):
+                    return CheckResult(False, "network produced non-finite outputs")
+        except Exception as exc:  # noqa: BLE001
+            return CheckResult(False, f"trial forward pass failed: {exc!r}")
+        return CheckResult(True)
+
+
+class NormalizationCheck:
+    """Fuzzing check: no state feature may exceed ``threshold`` in magnitude."""
+
+    def __init__(self, threshold: float = DEFAULT_NORMALIZATION_THRESHOLD,
+                 num_fuzz_inputs: int = 10, seed: int = 1) -> None:
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        if num_fuzz_inputs < 1:
+            raise ValueError("at least one fuzz input is required")
+        self.threshold = threshold
+        self.num_fuzz_inputs = num_fuzz_inputs
+        self.seed = seed
+
+    def check(self, design: Design) -> CheckResult:
+        if design.kind != DesignKind.STATE:
+            # The paper applies the normalization check only to state designs.
+            return CheckResult(True, "not applicable to network designs")
+        try:
+            state_function = load_state_function(design.code)
+        except CodeBlockError as exc:
+            return CheckResult(False, str(exc))
+        rng = np.random.default_rng(self.seed)
+        worst = 0.0
+        try:
+            for _ in range(self.num_fuzz_inputs):
+                state_function.reset_shape()
+                state = state_function(random_observation(rng))
+                worst = max(worst, float(np.abs(state).max()))
+                if worst > self.threshold:
+                    return CheckResult(
+                        False,
+                        f"feature magnitude {worst:.1f} exceeds threshold "
+                        f"{self.threshold:.0f}")
+        except Exception as exc:  # noqa: BLE001
+            return CheckResult(False, f"fuzzing failed: {exc!r}")
+        return CheckResult(True, f"max observed magnitude {worst:.2f}")
+
+
+@dataclass
+class FilterReport:
+    """Aggregate statistics of a filtering pass (Table 2 quantities)."""
+
+    total: int = 0
+    compilable: int = 0
+    well_normalized: int = 0
+    rejection_reasons: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def compilable_fraction(self) -> float:
+        return self.compilable / self.total if self.total else 0.0
+
+    @property
+    def well_normalized_fraction(self) -> float:
+        return self.well_normalized / self.total if self.total else 0.0
+
+    def _note_rejection(self, stage: str) -> None:
+        self.rejection_reasons[stage] = self.rejection_reasons.get(stage, 0) + 1
+
+
+class FilterPipeline:
+    """Applies the pre-checks in order and updates design statuses."""
+
+    def __init__(self, compilation_check: Optional[CompilationCheck] = None,
+                 normalization_check: Optional[NormalizationCheck] = None) -> None:
+        self.compilation_check = compilation_check or CompilationCheck()
+        self.normalization_check = normalization_check or NormalizationCheck()
+
+    def apply(self, designs: Iterable[Design]) -> FilterReport:
+        """Run both checks over ``designs``, mutating their statuses."""
+        report = FilterReport()
+        for design in designs:
+            report.total += 1
+            compilation = self.compilation_check.check(design)
+            if not compilation.passed:
+                design.mark_rejected(DesignStatus.REJECTED_COMPILATION,
+                                     compilation.reason)
+                report._note_rejection("compilation")
+                continue
+            report.compilable += 1
+            normalization = self.normalization_check.check(design)
+            if not normalization.passed:
+                design.mark_rejected(DesignStatus.REJECTED_NORMALIZATION,
+                                     normalization.reason)
+                report._note_rejection("normalization")
+                continue
+            report.well_normalized += 1
+            design.status = DesignStatus.PENDING_EVALUATION
+        return report

@@ -1,0 +1,222 @@
+"""The end-to-end Nada pipeline (Figure 1 of the paper).
+
+Stages:
+
+1. **Autonomous coding** — prompt an LLM for a pool of candidate designs
+   (state representations and/or network architectures).
+2. **Pre-checks** — compilation check and normalization check.
+3. **Bootstrap training** — a small subset of surviving designs is trained
+   without early stopping to build the labelled corpus for the early-stopping
+   classifier.
+4. **Filtered evaluation** — the remaining designs are trained with the
+   early-stopping classifier consulted after the first K episodes.
+5. **Selection** — the best design (per the §3.1 test-score protocol) is
+   reported alongside the original design's score.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..abr.qoe import LinearQoE, QoEMetric
+from ..abr.video import Video, synthetic_video
+from ..llm.base import LLMClient
+from ..llm.synthetic import SyntheticLLM
+from ..traces.base import TraceSet
+from ..traces.registry import ENVIRONMENTS, build_dataset
+from .design import CandidatePool, Design, DesignKind, DesignStatus
+from .early_stopping import EarlyStoppingConfig, RewardTrajectoryClassifier
+from .evaluation import DesignTrainer, EvaluationConfig, TestScoreProtocol
+from .filters import FilterPipeline, FilterReport
+from .generation import DesignGenerator, GenerationConfig
+from .prompts import PromptConfig
+
+__all__ = ["NadaConfig", "NadaResult", "NadaPipeline"]
+
+
+@dataclass
+class NadaConfig:
+    """Configuration of one Nada campaign."""
+
+    #: Which component to redesign: "state", "network", or "both".
+    target: str = "state"
+    #: Number of candidate designs to generate per component.
+    num_designs: int = 20
+    #: LLM backend; a profile name ("gpt-3.5"/"gpt-4") builds a SyntheticLLM.
+    llm: str = "gpt-4"
+    #: Prompting strategy switches.
+    prompt: PromptConfig = field(default_factory=PromptConfig)
+    #: Training/evaluation schedule.
+    evaluation: EvaluationConfig = field(default_factory=EvaluationConfig)
+    #: Early stopping: disabled entirely when False.
+    use_early_stopping: bool = True
+    early_stopping: EarlyStoppingConfig = field(default_factory=EarlyStoppingConfig)
+    #: Fraction of surviving designs trained fully to bootstrap the classifier.
+    bootstrap_fraction: float = 0.3
+    #: Minimum number of bootstrap designs regardless of the fraction.
+    min_bootstrap_designs: int = 5
+    #: Base random seed for generation and training.
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.target not in ("state", "network", "both"):
+            raise ValueError("target must be 'state', 'network' or 'both'")
+        if self.num_designs < 1:
+            raise ValueError("num_designs must be positive")
+        if not 0.0 < self.bootstrap_fraction <= 1.0:
+            raise ValueError("bootstrap_fraction must be in (0, 1]")
+
+
+@dataclass
+class NadaResult:
+    """Everything a Nada campaign produces."""
+
+    pool: CandidatePool
+    filter_report: FilterReport
+    original_score: float
+    best_design: Optional[Design]
+    best_score: Optional[float]
+    #: Designs whose training was cut short by the early-stopping model.
+    early_stopped_designs: List[Design] = field(default_factory=list)
+    #: Number of designs trained fully (bootstrap + survivors).
+    fully_trained: int = 0
+
+    @property
+    def improvement(self) -> Optional[float]:
+        """Relative improvement of the best design over the original (e.g. 0.13 = 13%)."""
+        if self.best_score is None or not np.isfinite(self.original_score):
+            return None
+        baseline = abs(self.original_score)
+        if baseline < 1e-12:
+            return None
+        return (self.best_score - self.original_score) / baseline
+
+    def summary(self) -> str:
+        lines = [
+            f"designs generated : {self.filter_report.total}",
+            f"compilable        : {self.filter_report.compilable} "
+            f"({self.filter_report.compilable_fraction:.1%})",
+            f"well normalized   : {self.filter_report.well_normalized} "
+            f"({self.filter_report.well_normalized_fraction:.1%})",
+            f"fully trained     : {self.fully_trained}",
+            f"early stopped     : {len(self.early_stopped_designs)}",
+            f"original score    : {self.original_score:.3f}",
+        ]
+        if self.best_design is not None and self.best_score is not None:
+            improvement = self.improvement
+            impr_text = f" ({improvement:+.1%})" if improvement is not None else ""
+            lines.append(f"best design       : {self.best_design.design_id}")
+            lines.append(f"best score        : {self.best_score:.3f}{impr_text}")
+        else:
+            lines.append("best design       : none survived evaluation")
+        return "\n".join(lines)
+
+
+class NadaPipeline:
+    """Orchestrates generation, filtering and evaluation for one environment."""
+
+    def __init__(self, video: Video, train_traces: TraceSet, test_traces: TraceSet,
+                 config: Optional[NadaConfig] = None,
+                 qoe: Optional[QoEMetric] = None,
+                 llm_client: Optional[LLMClient] = None) -> None:
+        self.video = video
+        self.train_traces = train_traces
+        self.test_traces = test_traces
+        self.config = config or NadaConfig()
+        self.qoe = qoe or LinearQoE(video.bitrates_kbps)
+        self.llm_client = llm_client or SyntheticLLM(self.config.llm,
+                                                     seed=self.config.seed)
+        self._trainer = DesignTrainer(video, train_traces, test_traces,
+                                      config=self.config.evaluation, qoe=self.qoe)
+        self._protocol = TestScoreProtocol(self._trainer)
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def for_environment(cls, environment: str, config: Optional[NadaConfig] = None,
+                        dataset_scale: float = 0.05, num_chunks: int = 24,
+                        seed: int = 0,
+                        llm_client: Optional[LLMClient] = None) -> "NadaPipeline":
+        """Convenience constructor: build traces and video for a named environment."""
+        spec = ENVIRONMENTS[environment.lower()]
+        train, test = build_dataset(environment, seed=seed, scale=dataset_scale)
+        video = synthetic_video(spec.bitrate_ladder, num_chunks=num_chunks, seed=seed)
+        return cls(video, train, test, config=config, llm_client=llm_client)
+
+    # ------------------------------------------------------------------ #
+    def run(self) -> NadaResult:
+        """Execute the full pipeline and return its result."""
+        cfg = self.config
+        pool = CandidatePool()
+        generator = DesignGenerator(
+            self.llm_client,
+            GenerationConfig(prompt=cfg.prompt, base_seed=cfg.seed))
+
+        kinds: List[DesignKind] = []
+        if cfg.target in ("state", "both"):
+            kinds.append(DesignKind.STATE)
+        if cfg.target in ("network", "both"):
+            kinds.append(DesignKind.NETWORK)
+        for kind in kinds:
+            generator.populate_pool(pool, kind, cfg.num_designs)
+
+        # Stage 2: pre-checks.
+        filter_report = FilterPipeline().apply(pool)
+        survivors = pool.surviving_prechecks()
+
+        # Stage 0 (reference): the original design's score.
+        original_score = self._protocol.score_original()
+
+        early_stopper: Optional[RewardTrajectoryClassifier] = None
+        fully_trained = 0
+        rng = np.random.default_rng(cfg.seed)
+
+        if survivors:
+            order = rng.permutation(len(survivors))
+            survivors = [survivors[i] for i in order]
+
+        if cfg.use_early_stopping and survivors:
+            bootstrap_count = max(cfg.min_bootstrap_designs,
+                                  int(round(cfg.bootstrap_fraction * len(survivors))))
+            bootstrap_count = min(bootstrap_count, len(survivors))
+            bootstrap, remainder = (survivors[:bootstrap_count],
+                                    survivors[bootstrap_count:])
+            # Stage 3: bootstrap full training to build the labelled corpus.
+            for design in bootstrap:
+                self._protocol.score_design(design)
+                fully_trained += 1
+            corpus = [d for d in bootstrap if d.reward_history and d.test_score is not None]
+            if len(corpus) >= 4:
+                early_stopper = RewardTrajectoryClassifier(cfg.early_stopping)
+                early_stopper.fit([d.reward_history for d in corpus],
+                                  [d.test_score for d in corpus])
+            # Stage 4: evaluate the rest with early stopping.
+            for design in remainder:
+                self._protocol.score_design(design, early_stopping=early_stopper)
+                if design.status != DesignStatus.EARLY_STOPPED:
+                    fully_trained += 1
+        else:
+            for design in survivors:
+                self._protocol.score_design(design)
+                fully_trained += 1
+
+        early_stopped = pool.with_status(DesignStatus.EARLY_STOPPED)
+        best = pool.best()
+        return NadaResult(
+            pool=pool,
+            filter_report=filter_report,
+            original_score=original_score,
+            best_design=best,
+            best_score=best.test_score if best is not None else None,
+            early_stopped_designs=early_stopped,
+            fully_trained=fully_trained,
+        )
+
+    # ------------------------------------------------------------------ #
+    def evaluate_combination(self, state_design: Optional[Design],
+                             network_design: Optional[Design]) -> float:
+        """Score a specific (state, network) combination (Table 5 grid)."""
+        score, _ = self._protocol.run(state_design, network_design)
+        return score

@@ -1,0 +1,366 @@
+"""Alternative early-stopping predictors and their comparison (§3.4).
+
+The paper compares five mechanisms for predicting, from early evidence,
+whether a design will end up among the top performers:
+
+1. **Reward Only** — the 1D-CNN over the early reward trajectory
+   (:class:`~repro.core.early_stopping.RewardTrajectoryClassifier`);
+2. **Text Only** — an embedding of the design's source code fed to a
+   classifier;
+3. **Text + Reward** — both feature sets concatenated;
+4. **Heuristic Max** — the maximum reward observed in the early prefix;
+5. **Heuristic Last** — the last reward of the early prefix.
+
+All predictors expose the same interface (fit on labelled designs, produce a
+promise score per design); thresholds are tuned on the training split for a
+0% false-negative rate, and :func:`cross_validate_predictors` reproduces the
+paper's five-fold evaluation protocol (Figure 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .. import nn
+from ..llm.embeddings import HashingEmbedder
+from .early_stopping import (
+    EarlyStoppingConfig,
+    RewardTrajectoryClassifier,
+    classification_rates,
+    prepare_reward_prefix,
+    top_fraction_labels,
+    tune_threshold_zero_fnr,
+)
+
+__all__ = [
+    "DesignSampleFeatures",
+    "EarlyStopPredictor",
+    "RewardOnlyPredictor",
+    "TextOnlyPredictor",
+    "TextRewardPredictor",
+    "HeuristicMaxPredictor",
+    "HeuristicLastPredictor",
+    "PREDICTOR_REGISTRY",
+    "make_predictor",
+    "PredictorEvaluation",
+    "evaluate_predictor",
+    "cross_validate_predictors",
+]
+
+
+@dataclass
+class DesignSampleFeatures:
+    """The raw material every predictor may use for one design."""
+
+    reward_prefix: Sequence[float]
+    code: str
+    final_score: float
+
+
+class EarlyStopPredictor:
+    """Interface: fit on labelled designs, score new designs."""
+
+    name = "base"
+
+    def fit(self, samples: Sequence[DesignSampleFeatures]) -> "EarlyStopPredictor":
+        raise NotImplementedError
+
+    def predict_scores(self, samples: Sequence[DesignSampleFeatures]) -> np.ndarray:
+        raise NotImplementedError
+
+    @property
+    def threshold(self) -> float:
+        raise NotImplementedError
+
+
+# --------------------------------------------------------------------------- #
+# Reward Only
+# --------------------------------------------------------------------------- #
+class RewardOnlyPredictor(EarlyStopPredictor):
+    """The paper's chosen mechanism (1D-CNN over the reward prefix)."""
+
+    name = "reward_only"
+
+    def __init__(self, config: Optional[EarlyStoppingConfig] = None) -> None:
+        self.config = config or EarlyStoppingConfig()
+        self._classifier = RewardTrajectoryClassifier(self.config)
+
+    def fit(self, samples: Sequence[DesignSampleFeatures]) -> "RewardOnlyPredictor":
+        self._classifier.fit([s.reward_prefix for s in samples],
+                             [s.final_score for s in samples])
+        return self
+
+    def predict_scores(self, samples: Sequence[DesignSampleFeatures]) -> np.ndarray:
+        return self._classifier.predict_scores([s.reward_prefix for s in samples])
+
+    @property
+    def threshold(self) -> float:
+        if self._classifier.threshold is None:
+            raise RuntimeError("predictor has not been fitted")
+        return self._classifier.threshold
+
+
+# --------------------------------------------------------------------------- #
+# Dense classifier over arbitrary feature vectors (shared by text predictors)
+# --------------------------------------------------------------------------- #
+class _DenseClassifier:
+    """Small MLP binary classifier over fixed-size feature vectors."""
+
+    def __init__(self, input_dim: int, hidden_units: int, epochs: int,
+                 learning_rate: float, seed: int) -> None:
+        rng = np.random.default_rng(seed)
+        self.hidden = nn.Dense(input_dim, hidden_units, activation="relu", rng=rng)
+        self.out = nn.Dense(hidden_units, 1, rng=rng)
+        self.epochs = epochs
+        self.learning_rate = learning_rate
+        self._rng = rng
+
+    def _forward(self, x: nn.Tensor) -> nn.Tensor:
+        batch = x.shape[0]
+        return self.out(self.hidden(x)).reshape(batch).sigmoid()
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> None:
+        params = self.hidden.parameters() + self.out.parameters()
+        optimizer = nn.Adam(params, lr=self.learning_rate)
+        n = features.shape[0]
+        batch_size = min(32, n)
+        for _ in range(self.epochs):
+            order = self._rng.permutation(n)
+            for start in range(0, n, batch_size):
+                idx = order[start:start + batch_size]
+                predictions = self._forward(nn.tensor(features[idx]))
+                loss = nn.binary_cross_entropy(predictions, nn.tensor(labels[idx]))
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        with nn.no_grad():
+            outputs = self._forward(nn.tensor(features))
+        return outputs.numpy().copy()
+
+
+class _FeatureClassifierPredictor(EarlyStopPredictor):
+    """Base for predictors that classify a fixed-size feature vector."""
+
+    def __init__(self, top_fraction: float = 0.01, smoothed_fraction: float = 0.20,
+                 hidden_units: int = 32, epochs: int = 200,
+                 learning_rate: float = 5e-3, seed: int = 0) -> None:
+        self.top_fraction = top_fraction
+        self.smoothed_fraction = smoothed_fraction
+        self.hidden_units = hidden_units
+        self.epochs = epochs
+        self.learning_rate = learning_rate
+        self.seed = seed
+        self._classifier: Optional[_DenseClassifier] = None
+        self._threshold: Optional[float] = None
+        self._feature_mean: Optional[np.ndarray] = None
+        self._feature_std: Optional[np.ndarray] = None
+
+    # Subclasses implement the feature extraction.
+    def _features(self, samples: Sequence[DesignSampleFeatures]) -> np.ndarray:
+        raise NotImplementedError
+
+    def fit(self, samples: Sequence[DesignSampleFeatures]) -> "EarlyStopPredictor":
+        features = self._features(samples)
+        self._feature_mean = features.mean(axis=0)
+        std = features.std(axis=0)
+        std[std == 0] = 1.0
+        self._feature_std = std
+        features = (features - self._feature_mean) / self._feature_std
+        final_scores = [s.final_score for s in samples]
+        smoothed = top_fraction_labels(final_scores, self.smoothed_fraction)
+        strict = top_fraction_labels(final_scores, self.top_fraction)
+        self._classifier = _DenseClassifier(features.shape[1], self.hidden_units,
+                                            self.epochs, self.learning_rate, self.seed)
+        self._classifier.fit(features, smoothed.astype(np.float64))
+        scores = self._classifier.predict(features)
+        self._threshold = tune_threshold_zero_fnr(scores, strict)
+        return self
+
+    def predict_scores(self, samples: Sequence[DesignSampleFeatures]) -> np.ndarray:
+        if self._classifier is None:
+            raise RuntimeError("predictor has not been fitted")
+        features = self._features(samples)
+        features = (features - self._feature_mean) / self._feature_std
+        return self._classifier.predict(features)
+
+    @property
+    def threshold(self) -> float:
+        if self._threshold is None:
+            raise RuntimeError("predictor has not been fitted")
+        return self._threshold
+
+
+class TextOnlyPredictor(_FeatureClassifierPredictor):
+    """Classifies a code embedding only (no training rewards)."""
+
+    name = "text_only"
+
+    def __init__(self, embedding_dim: int = 128, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self._embedder = HashingEmbedder(dimension=embedding_dim)
+
+    def _features(self, samples: Sequence[DesignSampleFeatures]) -> np.ndarray:
+        return self._embedder.embed_batch([s.code for s in samples])
+
+
+class TextRewardPredictor(_FeatureClassifierPredictor):
+    """Classifies the concatenation of the code embedding and reward prefix."""
+
+    name = "text_reward"
+
+    def __init__(self, embedding_dim: int = 128, reward_prefix_length: int = 10,
+                 **kwargs) -> None:
+        super().__init__(**kwargs)
+        self._embedder = HashingEmbedder(dimension=embedding_dim)
+        self.reward_prefix_length = reward_prefix_length
+
+    def _features(self, samples: Sequence[DesignSampleFeatures]) -> np.ndarray:
+        embeddings = self._embedder.embed_batch([s.code for s in samples])
+        rewards = np.stack([prepare_reward_prefix(s.reward_prefix,
+                                                  self.reward_prefix_length)
+                            for s in samples])
+        return np.concatenate([embeddings, rewards], axis=1)
+
+
+# --------------------------------------------------------------------------- #
+# Heuristics
+# --------------------------------------------------------------------------- #
+class _HeuristicPredictor(EarlyStopPredictor):
+    """Thresholded scalar heuristics over the reward prefix."""
+
+    def __init__(self, top_fraction: float = 0.01,
+                 reward_prefix_length: int = 10) -> None:
+        self.top_fraction = top_fraction
+        self.reward_prefix_length = reward_prefix_length
+        self._threshold: Optional[float] = None
+
+    def _score_one(self, prefix: Sequence[float]) -> float:
+        raise NotImplementedError
+
+    def predict_scores(self, samples: Sequence[DesignSampleFeatures]) -> np.ndarray:
+        return np.array([
+            self._score_one(prepare_reward_prefix(s.reward_prefix,
+                                                  self.reward_prefix_length))
+            for s in samples
+        ])
+
+    def fit(self, samples: Sequence[DesignSampleFeatures]) -> "EarlyStopPredictor":
+        scores = self.predict_scores(samples)
+        strict = top_fraction_labels([s.final_score for s in samples],
+                                     self.top_fraction)
+        self._threshold = tune_threshold_zero_fnr(scores, strict)
+        return self
+
+    @property
+    def threshold(self) -> float:
+        if self._threshold is None:
+            raise RuntimeError("predictor has not been fitted")
+        return self._threshold
+
+
+class HeuristicMaxPredictor(_HeuristicPredictor):
+    """Stops designs whose best early reward is low."""
+
+    name = "heuristic_max"
+
+    def _score_one(self, prefix: Sequence[float]) -> float:
+        return float(np.max(prefix))
+
+
+class HeuristicLastPredictor(_HeuristicPredictor):
+    """Stops designs whose most recent early reward is low."""
+
+    name = "heuristic_last"
+
+    def _score_one(self, prefix: Sequence[float]) -> float:
+        return float(prefix[-1])
+
+
+PREDICTOR_REGISTRY = {
+    "reward_only": RewardOnlyPredictor,
+    "text_only": TextOnlyPredictor,
+    "text_reward": TextRewardPredictor,
+    "heuristic_max": HeuristicMaxPredictor,
+    "heuristic_last": HeuristicLastPredictor,
+}
+
+
+def make_predictor(name: str, **kwargs) -> EarlyStopPredictor:
+    """Instantiate an early-stopping predictor by name."""
+    key = name.lower()
+    if key not in PREDICTOR_REGISTRY:
+        raise KeyError(f"unknown predictor {name!r}; known: {sorted(PREDICTOR_REGISTRY)}")
+    return PREDICTOR_REGISTRY[key](**kwargs)
+
+
+# --------------------------------------------------------------------------- #
+# Evaluation protocol (Figure 5)
+# --------------------------------------------------------------------------- #
+@dataclass
+class PredictorEvaluation:
+    """FNR/TNR of one predictor, averaged over validation folds."""
+
+    name: str
+    false_negative_rate: float
+    true_negative_rate: float
+    fold_details: List[Dict[str, float]] = field(default_factory=list)
+
+
+def evaluate_predictor(predictor: EarlyStopPredictor,
+                       train: Sequence[DesignSampleFeatures],
+                       test: Sequence[DesignSampleFeatures],
+                       top_fraction: float = 0.01) -> Dict[str, float]:
+    """Fit on ``train`` and compute FNR/TNR on ``test``."""
+    predictor.fit(train)
+    scores = predictor.predict_scores(test)
+    labels = top_fraction_labels([s.final_score for s in test], top_fraction)
+    return classification_rates(scores, labels, predictor.threshold)
+
+
+def cross_validate_predictors(samples: Sequence[DesignSampleFeatures],
+                              predictor_names: Sequence[str] = tuple(PREDICTOR_REGISTRY),
+                              num_folds: int = 5,
+                              train_fraction_per_fold: float = 0.2,
+                              top_fraction: float = 0.01,
+                              seed: int = 0,
+                              predictor_kwargs: Optional[Dict[str, dict]] = None,
+                              ) -> List[PredictorEvaluation]:
+    """Reproduce the paper's five-fold protocol.
+
+    In each fold, ``train_fraction_per_fold`` of the designs (20%, i.e. 400 of
+    2000 in the paper) are used to fit each predictor and the remaining
+    designs are used for evaluation; FNR and TNR are averaged across folds.
+    """
+    if len(samples) < 10:
+        raise ValueError("need at least 10 designs for cross-validation")
+    predictor_kwargs = predictor_kwargs or {}
+    rng = np.random.default_rng(seed)
+    n = len(samples)
+    results: List[PredictorEvaluation] = []
+    fold_indices = [rng.permutation(n) for _ in range(num_folds)]
+    train_size = max(4, int(round(train_fraction_per_fold * n)))
+
+    for name in predictor_names:
+        fold_details: List[Dict[str, float]] = []
+        for indices in fold_indices:
+            train_idx = indices[:train_size]
+            test_idx = indices[train_size:]
+            train = [samples[i] for i in train_idx]
+            test = [samples[i] for i in test_idx]
+            predictor = make_predictor(name, **predictor_kwargs.get(name, {}))
+            fold_details.append(evaluate_predictor(predictor, train, test,
+                                                   top_fraction=top_fraction))
+        results.append(PredictorEvaluation(
+            name=name,
+            false_negative_rate=float(np.mean([f["false_negative_rate"]
+                                               for f in fold_details])),
+            true_negative_rate=float(np.mean([f["true_negative_rate"]
+                                              for f in fold_details])),
+            fold_details=fold_details,
+        ))
+    return results

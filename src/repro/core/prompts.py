@@ -1,0 +1,151 @@
+"""Prompt construction for design generation (§2.1 of the paper).
+
+The paper identifies three prompting strategies that materially improve the
+quality and diversity of generated designs:
+
+1. **Chain of thought** — ask the model to analyse the existing code, list
+   several improvement ideas in natural language, pick the most promising one
+   and only then write code.
+2. **Semantic renaming and annotation** — present the existing code with
+   descriptive parameter names and comments explaining each input's meaning
+   and units.
+3. **Explicit normalization instructions** (state prompts only) — request that
+   every feature stays within a small numeric range, because unnormalized
+   features (e.g. chunk sizes in bytes) stall RL training.
+
+This module renders those strategies into chat messages.  The same prompts are
+sent to any backend implementing :class:`~repro.llm.base.LLMClient` — the real
+API client or the offline synthetic generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..abr.networks import ORIGINAL_NETWORK_SOURCE
+from ..abr.state import ORIGINAL_STATE_SOURCE, STATE_FUNCTION_PARAMETERS
+from ..llm.base import ChatMessage
+
+__all__ = [
+    "PromptConfig",
+    "PARAMETER_DESCRIPTIONS",
+    "system_message",
+    "build_state_prompt",
+    "build_network_prompt",
+]
+
+
+#: Human-readable description of every state-function parameter, injected into
+#: prompts so the model understands units and meanings (strategy 2).
+PARAMETER_DESCRIPTIONS = {
+    "bitrate_kbps_history": "bitrates selected for the previous chunks, in kbps (oldest first)",
+    "throughput_mbps_history": "measured network throughput for the previous chunks, in Mbit/s",
+    "download_time_s_history": "download time of each previous chunk, in seconds",
+    "buffer_size_s_history": "playback buffer level after each previous chunk, in seconds",
+    "next_chunk_sizes_bytes": "size of the next chunk at every available bitrate, in bytes",
+    "remaining_chunk_count": "number of chunks left in the video",
+    "total_chunk_count": "total number of chunks in the video",
+    "bitrate_ladder_kbps": "the available bitrate ladder, ascending, in kbps",
+}
+
+
+@dataclass(frozen=True)
+class PromptConfig:
+    """Switches for the prompting strategies (used by the prompt ablation)."""
+
+    use_chain_of_thought: bool = True
+    describe_parameters: bool = True
+    request_normalization: bool = True
+    #: Optional description of the target network environment, e.g.
+    #: "a LEO satellite network with 15-second handover interruptions".
+    environment_hint: Optional[str] = None
+
+
+def system_message() -> ChatMessage:
+    """The system message shared by all generation prompts."""
+    return ChatMessage(
+        role="system",
+        content=(
+            "You are an expert in networked systems and reinforcement learning. "
+            "You improve adaptive bitrate (ABR) streaming algorithms by rewriting "
+            "individual Python functions. Always answer with a single complete, "
+            "self-contained Python code block."
+        ),
+    )
+
+
+def _parameter_glossary() -> str:
+    lines = [f"- `{name}`: {PARAMETER_DESCRIPTIONS[name]}"
+             for name in STATE_FUNCTION_PARAMETERS]
+    return "\n".join(lines)
+
+
+def _chain_of_thought_instruction() -> str:
+    return (
+        "First, analyse the existing implementation and briefly list at least "
+        "three distinct ideas for improving it. Then select the most promising "
+        "idea (or combination of ideas) and explain why. Only after that, write "
+        "the final code."
+    )
+
+
+def build_state_prompt(config: Optional[PromptConfig] = None,
+                       original_source: str = ORIGINAL_STATE_SOURCE) -> List[ChatMessage]:
+    """Messages asking the model for an improved RL state representation."""
+    config = config or PromptConfig()
+    parts: List[str] = []
+    parts.append(
+        "Below is the current implementation of the RL state representation used "
+        "by an ABR (adaptive bitrate) streaming algorithm. Improve the state design: "
+        "propose an alternative `state_func` that may add, remove, transform or "
+        "re-normalize features."
+    )
+    if config.environment_hint:
+        parts.append(f"The target deployment environment is: {config.environment_hint}.")
+    if config.describe_parameters:
+        parts.append("The function parameters have the following meanings:\n"
+                     + _parameter_glossary())
+    if config.use_chain_of_thought:
+        parts.append(_chain_of_thought_instruction())
+    if config.request_normalization:
+        parts.append(
+            "Important: every feature in the returned state must be properly "
+            "normalized — values should typically lie within [-10, 10]. Never use "
+            "raw byte counts or raw kbps values as features."
+        )
+    parts.append(
+        "Constraints: keep the function name `state_func` and its parameter list "
+        "unchanged, return a 2-D NumPy array of shape (features, history_length), "
+        "and only use numpy and scipy."
+    )
+    parts.append("Current implementation:\n```python\n" + original_source + "\n```")
+    return [system_message(), ChatMessage(role="user", content="\n\n".join(parts))]
+
+
+def build_network_prompt(config: Optional[PromptConfig] = None,
+                         original_source: str = ORIGINAL_NETWORK_SOURCE,
+                         ) -> List[ChatMessage]:
+    """Messages asking the model for an improved actor-critic architecture."""
+    config = config or PromptConfig()
+    parts: List[str] = []
+    parts.append(
+        "Below is the current implementation of the actor-critic neural network "
+        "architecture used by an ABR streaming algorithm trained with "
+        "reinforcement learning. Improve the neural network design: propose an "
+        "alternative `build_network` that may change layer types, widths, "
+        "activation functions, or how the actor and critic share parameters."
+    )
+    if config.environment_hint:
+        parts.append(f"The target deployment environment is: {config.environment_hint}.")
+    if config.use_chain_of_thought:
+        parts.append(_chain_of_thought_instruction())
+    parts.append(
+        "Constraints: keep the function name `build_network(state_shape, "
+        "num_actions, rng=None)` and return an object from the provided "
+        "`nn_library` (PensieveNetwork or GenericActorCritic) or a compatible "
+        "actor-critic module. The returned model must map a batch of states to "
+        "a (policy_logits, value) pair."
+    )
+    parts.append("Current implementation:\n```python\n" + original_source + "\n```")
+    return [system_message(), ChatMessage(role="user", content="\n\n".join(parts))]

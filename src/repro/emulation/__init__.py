@@ -1,0 +1,25 @@
+"""Packet-level emulation substrate (dash.js-over-Mahimahi substitute).
+
+Layers: :mod:`link` (packet delivery schedule), :mod:`tcp` (slow start /
+congestion avoidance), :mod:`http` (request/response), :mod:`player`
+(dash.js-like client) and :mod:`emulator` (policy-in-the-loop runner).
+"""
+
+from .emulator import (
+    EmulationConfig,
+    Emulator,
+    emulate_session,
+    evaluate_policy_emulated,
+)
+from .http import HTTPClient, HTTPConfig, HTTPResponse
+from .link import MTU_BYTES, LinkConfig, PacketDeliveryLink
+from .player import DashPlayer, PlayerConfig, PlayerEvent
+from .tcp import TCPConfig, TCPConnection, TransferResult
+
+__all__ = [
+    "LinkConfig", "PacketDeliveryLink", "MTU_BYTES",
+    "TCPConfig", "TCPConnection", "TransferResult",
+    "HTTPConfig", "HTTPClient", "HTTPResponse",
+    "PlayerConfig", "DashPlayer", "PlayerEvent",
+    "EmulationConfig", "Emulator", "emulate_session", "evaluate_policy_emulated",
+]

@@ -1,0 +1,75 @@
+"""Minimal HTTP/1.1 request-response model over the TCP connection.
+
+dash.js fetches each video chunk with an HTTP GET on a persistent connection.
+The cost of a fetch is one request RTT (request upstream + first response byte
+downstream) plus the body transfer time from the TCP model, plus a small
+server processing delay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .link import PacketDeliveryLink
+from .tcp import TCPConfig, TCPConnection, TransferResult
+
+__all__ = ["HTTPConfig", "HTTPResponse", "HTTPClient"]
+
+
+@dataclass(frozen=True)
+class HTTPConfig:
+    """Parameters of the HTTP request model."""
+
+    #: Server-side processing latency per request (seconds).
+    server_processing_s: float = 0.005
+    #: Size of the HTTP request plus response headers (bytes); added to the
+    #: body so header overhead is accounted for.
+    header_overhead_bytes: float = 600.0
+
+
+@dataclass
+class HTTPResponse:
+    """Timing of one completed HTTP GET."""
+
+    request_sent_s: float
+    response_complete_s: float
+    body_bytes: float
+    throughput_mbps: float
+
+    @property
+    def latency_s(self) -> float:
+        return self.response_complete_s - self.request_sent_s
+
+
+class HTTPClient:
+    """Issues sequential HTTP GETs over a single persistent connection."""
+
+    def __init__(self, link: PacketDeliveryLink,
+                 http_config: Optional[HTTPConfig] = None,
+                 tcp_config: Optional[TCPConfig] = None) -> None:
+        self.link = link
+        self.config = http_config or HTTPConfig()
+        self.connection = TCPConnection(link, tcp_config)
+
+    def get(self, request_time_s: float, body_bytes: float) -> HTTPResponse:
+        """Fetch ``body_bytes`` starting at ``request_time_s``."""
+        if body_bytes < 0:
+            raise ValueError("body size cannot be negative")
+        # Request travels upstream (one-way delay), the server processes it,
+        # then the response body is streamed back over TCP.
+        transfer_start = (request_time_s
+                          + self.link.config.one_way_delay_s
+                          + self.config.server_processing_s)
+        result: TransferResult = self.connection.transfer(
+            transfer_start, body_bytes + self.config.header_overhead_bytes)
+        # The final byte still needs to propagate to the client.
+        complete = result.end_s + self.link.config.one_way_delay_s
+        duration = max(complete - request_time_s, 1e-9)
+        throughput = body_bytes * 8.0 / duration / 1e6
+        return HTTPResponse(
+            request_sent_s=request_time_s,
+            response_complete_s=complete,
+            body_bytes=float(body_bytes),
+            throughput_mbps=throughput,
+        )

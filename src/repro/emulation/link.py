@@ -1,0 +1,146 @@
+"""Packet-granularity trace-driven link (Mahimahi's ``mm-link`` model).
+
+Mahimahi replays a *packet-delivery trace*: a list of millisecond timestamps,
+each of which is an opportunity to deliver one MTU-sized packet.  This module
+converts a bandwidth :class:`~repro.traces.base.Trace` into the same
+delivery-opportunity schedule and exposes the primitive the TCP model needs:
+"how many bytes can the link deliver between time ``t0`` and ``t1``", and its
+inverse, "at what time will ``n`` bytes have been delivered if transmission
+starts at ``t0``".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..traces.base import Trace
+
+__all__ = ["LinkConfig", "PacketDeliveryLink"]
+
+MTU_BYTES = 1500
+BITS_PER_BYTE = 8
+
+
+@dataclass(frozen=True)
+class LinkConfig:
+    """Static properties of the emulated bottleneck link."""
+
+    #: One-way propagation delay in seconds (each direction).
+    one_way_delay_s: float = 0.040
+    #: Millisecond granularity used when discretizing the bandwidth trace.
+    granularity_ms: int = 100
+    #: Random per-packet jitter applied to delivery times (std dev, seconds).
+    jitter_std_s: float = 0.0
+
+    @property
+    def rtt_s(self) -> float:
+        return 2.0 * self.one_way_delay_s
+
+
+class PacketDeliveryLink:
+    """Delivery-opportunity schedule derived from a bandwidth trace.
+
+    The schedule repeats cyclically (like Mahimahi's trace replay), so
+    arbitrarily long sessions can be emulated over a finite trace.
+    """
+
+    def __init__(self, trace: Trace, config: Optional[LinkConfig] = None) -> None:
+        self.trace = trace
+        self.config = config or LinkConfig()
+        self._build_schedule()
+
+    def _build_schedule(self) -> None:
+        granularity_s = self.config.granularity_ms / 1000.0
+        duration_s = self.trace.duration_s
+        n_windows = max(1, int(np.ceil(duration_s / granularity_s)))
+        # Packets deliverable in each window, carrying fractional remainders so
+        # long-run throughput matches the trace exactly.
+        packets_per_window = np.zeros(n_windows, dtype=np.int64)
+        carry_bits = 0.0
+        for w in range(n_windows):
+            mbps = self.trace.throughput_at(w * granularity_s)
+            bits = mbps * 1e6 * granularity_s + carry_bits
+            packets = int(bits // (MTU_BYTES * BITS_PER_BYTE))
+            carry_bits = bits - packets * MTU_BYTES * BITS_PER_BYTE
+            packets_per_window[w] = packets
+        self._packets_per_window = packets_per_window
+        self._granularity_s = granularity_s
+        self._cycle_s = n_windows * granularity_s
+        self._cycle_packets = int(packets_per_window.sum())
+        self._cumulative = np.concatenate([[0], np.cumsum(packets_per_window)])
+
+    # ------------------------------------------------------------------ #
+    @property
+    def cycle_duration_s(self) -> float:
+        return self._cycle_s
+
+    @property
+    def mean_throughput_mbps(self) -> float:
+        if self._cycle_s <= 0:
+            return 0.0
+        bits = self._cycle_packets * MTU_BYTES * BITS_PER_BYTE
+        return bits / self._cycle_s / 1e6
+
+    # ------------------------------------------------------------------ #
+    def packets_delivered_between(self, start_s: float, end_s: float) -> int:
+        """Number of delivery opportunities in ``[start_s, end_s)``."""
+        if end_s <= start_s:
+            return 0
+        return self._packets_before(end_s) - self._packets_before(start_s)
+
+    def _packets_before(self, time_s: float) -> int:
+        if time_s <= 0:
+            return 0
+        full_cycles = int(time_s // self._cycle_s)
+        remainder_s = time_s - full_cycles * self._cycle_s
+        window = min(int(remainder_s / self._granularity_s), len(self._packets_per_window))
+        partial = int(self._cumulative[window])
+        # Within the current window, deliveries are spread uniformly.
+        if window < len(self._packets_per_window):
+            window_fraction = (remainder_s - window * self._granularity_s) / self._granularity_s
+            partial += int(self._packets_per_window[window] * window_fraction)
+        return full_cycles * self._cycle_packets + partial
+
+    def time_to_deliver(self, start_s: float, num_bytes: float,
+                        rate_cap_bytes_per_s: Optional[float] = None) -> float:
+        """Time at which ``num_bytes`` will have been delivered, starting at ``start_s``.
+
+        ``rate_cap_bytes_per_s`` optionally limits the sending rate (used by
+        the TCP model during slow start, when the sender — not the link — is
+        the bottleneck).
+        """
+        if num_bytes <= 0:
+            return start_s
+        packets_needed = int(np.ceil(num_bytes / MTU_BYTES))
+        if self._cycle_packets == 0:
+            raise RuntimeError("link trace has zero capacity; nothing can be delivered")
+
+        # Binary search over time for the link-limited completion.
+        low = start_s
+        high = start_s + self._cycle_s
+        target = self._packets_before(start_s) + packets_needed
+        while self._packets_before(high) < target:
+            high += self._cycle_s
+        for _ in range(64):
+            mid = 0.5 * (low + high)
+            if self._packets_before(mid) >= target:
+                high = mid
+            else:
+                low = mid
+        link_limited_end = high
+
+        if rate_cap_bytes_per_s is not None and rate_cap_bytes_per_s > 0:
+            sender_limited_end = start_s + num_bytes / rate_cap_bytes_per_s
+            return max(link_limited_end, sender_limited_end)
+        return link_limited_end
+
+    def throughput_between(self, start_s: float, end_s: float) -> float:
+        """Average delivered throughput (Mbit/s) over ``[start_s, end_s)``."""
+        duration = end_s - start_s
+        if duration <= 0:
+            return 0.0
+        packets = self.packets_delivered_between(start_s, end_s)
+        return packets * MTU_BYTES * BITS_PER_BYTE / duration / 1e6

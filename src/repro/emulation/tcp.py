@@ -1,0 +1,120 @@
+"""A simple TCP throughput model layered on the packet-delivery link.
+
+The chunk-level simulator assumes each chunk instantly achieves the link rate.
+Real HTTP streaming over TCP does not: every transfer starts from the current
+congestion window, ramps up through slow start, and is capped by the link.
+This model captures the first-order effects that make emulation numbers differ
+from simulation numbers in the paper's Table 4:
+
+* **slow start** — the congestion window starts at ``initial_cwnd`` segments
+  and doubles every RTT until it reaches the slow-start threshold or the link
+  bandwidth-delay product;
+* **congestion avoidance** — beyond the threshold the window grows by one
+  segment per RTT;
+* **idle decay** — dash.js leaves the connection idle between chunk requests;
+  after an idle period the window collapses back toward its initial value
+  (RFC 2861 congestion-window validation), which repeatedly re-pays the
+  slow-start cost and is a major reason emulated QoE is lower.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from .link import MTU_BYTES, LinkConfig, PacketDeliveryLink
+
+__all__ = ["TCPConfig", "TCPConnection", "TransferResult"]
+
+
+@dataclass(frozen=True)
+class TCPConfig:
+    """Parameters of the TCP throughput model."""
+
+    initial_cwnd_segments: int = 10
+    initial_ssthresh_segments: int = 64
+    max_cwnd_segments: int = 1024
+    #: Idle time after which the congestion window is reset (seconds).
+    idle_reset_s: float = 1.0
+    #: Multiplicative decrease applied when the link is saturated.
+    loss_backoff: float = 0.5
+
+
+@dataclass
+class TransferResult:
+    """Outcome of one HTTP response body transfer."""
+
+    start_s: float
+    end_s: float
+    bytes_transferred: float
+    mean_throughput_mbps: float
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+class TCPConnection:
+    """Stateful TCP connection over a :class:`PacketDeliveryLink`."""
+
+    def __init__(self, link: PacketDeliveryLink, config: Optional[TCPConfig] = None) -> None:
+        self.link = link
+        self.config = config or TCPConfig()
+        self.cwnd_segments = float(self.config.initial_cwnd_segments)
+        self.ssthresh_segments = float(self.config.initial_ssthresh_segments)
+        self._last_activity_s: Optional[float] = None
+
+    # ------------------------------------------------------------------ #
+    def _maybe_idle_reset(self, now_s: float) -> None:
+        if self._last_activity_s is None:
+            return
+        idle = now_s - self._last_activity_s
+        if idle >= self.config.idle_reset_s:
+            # RFC 2861: collapse the window after an idle period.
+            self.cwnd_segments = float(self.config.initial_cwnd_segments)
+
+    def transfer(self, start_s: float, num_bytes: float) -> TransferResult:
+        """Transfer ``num_bytes`` starting at ``start_s``; returns timing info.
+
+        The transfer is simulated RTT by RTT: each round sends up to ``cwnd``
+        segments, constrained by what the link can deliver in that round.
+        """
+        if num_bytes <= 0:
+            return TransferResult(start_s, start_s, 0.0, 0.0)
+        self._maybe_idle_reset(start_s)
+        rtt = self.link.config.rtt_s
+        remaining = float(num_bytes)
+        now = start_s
+
+        while remaining > 0:
+            window_bytes = self.cwnd_segments * MTU_BYTES
+            to_send = min(window_bytes, remaining)
+            # The sender cannot exceed cwnd per RTT; the link cannot exceed its
+            # delivery schedule.  The round ends when the last byte of this
+            # window is delivered (at least one RTT passes per round).
+            cap_rate = window_bytes / rtt
+            delivered_by = self.link.time_to_deliver(now, to_send,
+                                                     rate_cap_bytes_per_s=cap_rate)
+            round_end = max(delivered_by, now + rtt)
+            link_was_bottleneck = delivered_by > now + rtt + 1e-9
+            remaining -= to_send
+            now = round_end
+
+            # Congestion control bookkeeping for the next round.
+            if link_was_bottleneck:
+                # Treat link saturation as a loss event: multiplicative decrease.
+                self.ssthresh_segments = max(2.0, self.cwnd_segments * self.config.loss_backoff)
+                self.cwnd_segments = self.ssthresh_segments
+            elif self.cwnd_segments < self.ssthresh_segments:
+                self.cwnd_segments = min(self.cwnd_segments * 2.0,
+                                         float(self.config.max_cwnd_segments))
+            else:
+                self.cwnd_segments = min(self.cwnd_segments + 1.0,
+                                         float(self.config.max_cwnd_segments))
+
+        self._last_activity_s = now
+        duration = max(now - start_s, 1e-9)
+        mbps = num_bytes * 8.0 / duration / 1e6
+        return TransferResult(start_s=start_s, end_s=now,
+                              bytes_transferred=float(num_bytes),
+                              mean_throughput_mbps=mbps)

@@ -1,0 +1,33 @@
+"""LLM substrate: client interfaces, the synthetic design generator,
+embeddings and an optional OpenAI-compatible HTTP backend."""
+
+from .base import (
+    ChatMessage,
+    Completion,
+    LLMClient,
+    extract_code_blocks,
+    first_code_block,
+)
+from .design_space import (
+    DEFECTS,
+    DesignSample,
+    NETWORK_ENCODERS,
+    NetworkDesignSpace,
+    NetworkDesignSpec,
+    STATE_EXTRA_FEATURES,
+    StateDesignSpace,
+    StateDesignSpec,
+)
+from .embeddings import HashingEmbedder, tokenize_code
+from .openai_compat import OpenAICompatClient, OpenAICompatError
+from .synthetic import PROFILES, LLMProfile, SyntheticLLM
+
+__all__ = [
+    "ChatMessage", "Completion", "LLMClient", "extract_code_blocks",
+    "first_code_block",
+    "DesignSample", "StateDesignSpec", "StateDesignSpace", "NetworkDesignSpec",
+    "NetworkDesignSpace", "STATE_EXTRA_FEATURES", "NETWORK_ENCODERS", "DEFECTS",
+    "HashingEmbedder", "tokenize_code",
+    "SyntheticLLM", "LLMProfile", "PROFILES",
+    "OpenAICompatClient", "OpenAICompatError",
+]

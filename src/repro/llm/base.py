@@ -1,0 +1,85 @@
+"""LLM client abstraction.
+
+Nada only requires an LLM that, given a prompt containing an existing code
+block and instructions, returns text containing a new code block.  This module
+defines that minimal interface (:class:`LLMClient`) plus the chat-message data
+types, so the rest of the framework is agnostic to whether the backend is a
+real API (``repro.llm.openai_compat``) or the offline synthetic generator
+(``repro.llm.synthetic``) used in this reproduction.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional, Protocol, Sequence, runtime_checkable
+
+__all__ = [
+    "ChatMessage",
+    "Completion",
+    "LLMClient",
+    "extract_code_blocks",
+    "first_code_block",
+]
+
+
+@dataclass(frozen=True)
+class ChatMessage:
+    """One message in a chat conversation."""
+
+    role: str  # "system", "user" or "assistant"
+    content: str
+
+    def __post_init__(self) -> None:
+        if self.role not in ("system", "user", "assistant"):
+            raise ValueError(f"invalid role {self.role!r}")
+
+
+@dataclass
+class Completion:
+    """A model response plus bookkeeping metadata."""
+
+    text: str
+    model: str
+    prompt_tokens: int = 0
+    completion_tokens: int = 0
+    metadata: dict = field(default_factory=dict)
+
+
+@runtime_checkable
+class LLMClient(Protocol):
+    """Minimal protocol every LLM backend must implement."""
+
+    #: Human-readable model identifier (e.g. "gpt-3.5", "gpt-4", "synthetic").
+    model_name: str
+
+    def complete(self, messages: Sequence[ChatMessage],
+                 temperature: float = 1.0,
+                 seed: Optional[int] = None) -> Completion:
+        """Generate a completion for a chat conversation."""
+        ...
+
+
+_CODE_BLOCK_PATTERN = re.compile(r"```(?:python)?\s*\n(.*?)```", re.DOTALL)
+
+
+def extract_code_blocks(text: str) -> List[str]:
+    """Extract every fenced code block from an LLM response."""
+    blocks = [match.strip() for match in _CODE_BLOCK_PATTERN.findall(text)]
+    return [block for block in blocks if block]
+
+
+def first_code_block(text: str) -> Optional[str]:
+    """The first fenced code block in ``text``, or ``None`` if there is none.
+
+    If the response contains no fences at all but looks like bare code (starts
+    with ``import`` or ``def``), the whole response is returned — a common
+    failure mode of code-generation models that the pipeline tolerates.
+    """
+    blocks = extract_code_blocks(text)
+    if blocks:
+        return blocks[0]
+    stripped = text.strip()
+    if stripped.startswith(("import ", "def ", "from ", "#")):
+        return stripped
+    return None

@@ -1,0 +1,70 @@
+"""Deterministic text embeddings (substitute for ``text-embedding-ada-002``).
+
+The "Text Only" and "Text + Reward" early-stopping baselines in §3.4 of the
+paper embed the generated code with OpenAI's embedding API and feed the vector
+to the classifier.  Offline, this module provides a classical hashing
+embedder: code is tokenized into identifiers, numbers and operators, and both
+unigram and bigram tokens are hashed into a fixed-dimension vector (the
+"hashing trick"), then L2-normalized.  The embedding is deterministic,
+order-sensitive via bigrams, and captures lexical similarity between designs —
+which is all the baseline requires.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+from typing import List, Sequence
+
+import numpy as np
+
+__all__ = ["HashingEmbedder", "tokenize_code"]
+
+_TOKEN_PATTERN = re.compile(r"[A-Za-z_][A-Za-z_0-9]*|\d+\.?\d*|[^\sA-Za-z0-9_]")
+
+
+def tokenize_code(text: str) -> List[str]:
+    """Split source code into identifier / number / operator tokens."""
+    return _TOKEN_PATTERN.findall(text)
+
+
+class HashingEmbedder:
+    """Fixed-dimension hashing embedder for source code."""
+
+    def __init__(self, dimension: int = 256, use_bigrams: bool = True) -> None:
+        if dimension < 8:
+            raise ValueError("embedding dimension must be at least 8")
+        self.dimension = dimension
+        self.use_bigrams = use_bigrams
+
+    # ------------------------------------------------------------------ #
+    def _bucket(self, token: str) -> tuple[int, float]:
+        digest = hashlib.sha256(token.encode("utf-8")).digest()
+        index = int.from_bytes(digest[:4], "little") % self.dimension
+        sign = 1.0 if digest[4] % 2 == 0 else -1.0
+        return index, sign
+
+    def embed(self, text: str) -> np.ndarray:
+        """Embed one document into a unit-norm vector of ``dimension`` floats."""
+        tokens = tokenize_code(text)
+        vector = np.zeros(self.dimension)
+        grams: List[str] = list(tokens)
+        if self.use_bigrams:
+            grams.extend(f"{a}␟{b}" for a, b in zip(tokens, tokens[1:]))
+        for gram in grams:
+            index, sign = self._bucket(gram)
+            vector[index] += sign
+        norm = np.linalg.norm(vector)
+        if norm > 0:
+            vector = vector / norm
+        return vector
+
+    def embed_batch(self, texts: Sequence[str]) -> np.ndarray:
+        """Embed several documents; returns an ``(n, dimension)`` array."""
+        if not texts:
+            return np.zeros((0, self.dimension))
+        return np.stack([self.embed(text) for text in texts])
+
+    def similarity(self, a: str, b: str) -> float:
+        """Cosine similarity between two documents' embeddings."""
+        return float(np.dot(self.embed(a), self.embed(b)))

@@ -1,0 +1,84 @@
+"""Client for OpenAI-compatible chat-completion HTTP APIs.
+
+This is the backend the paper actually used (GPT-3.5 / GPT-4).  It implements
+the same :class:`~repro.llm.base.LLMClient` protocol as the offline
+:class:`~repro.llm.synthetic.SyntheticLLM`, so switching between the two is a
+one-line change in pipeline configuration.  The implementation uses only the
+standard library (``urllib``) and raises a clear error when no endpoint or
+API key is configured (e.g. in the offline reproduction environment).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import urllib.error
+import urllib.request
+from typing import Optional, Sequence
+
+from .base import ChatMessage, Completion
+
+__all__ = ["OpenAICompatError", "OpenAICompatClient"]
+
+
+class OpenAICompatError(RuntimeError):
+    """Raised when the remote API cannot be reached or returns an error."""
+
+
+class OpenAICompatClient:
+    """Minimal chat-completions client for OpenAI-compatible endpoints."""
+
+    def __init__(self, model: str = "gpt-4",
+                 api_key: Optional[str] = None,
+                 base_url: Optional[str] = None,
+                 timeout_s: float = 120.0) -> None:
+        self.model_name = model
+        self.api_key = api_key if api_key is not None else os.environ.get("OPENAI_API_KEY")
+        self.base_url = (base_url if base_url is not None
+                         else os.environ.get("OPENAI_BASE_URL", "https://api.openai.com/v1"))
+        self.timeout_s = timeout_s
+
+    # ------------------------------------------------------------------ #
+    def complete(self, messages: Sequence[ChatMessage],
+                 temperature: float = 1.0,
+                 seed: Optional[int] = None) -> Completion:
+        """Send a chat-completion request and return the first choice."""
+        if not self.api_key:
+            raise OpenAICompatError(
+                "no API key configured (set OPENAI_API_KEY); use "
+                "repro.llm.SyntheticLLM for offline experiments")
+        payload = {
+            "model": self.model_name,
+            "messages": [{"role": m.role, "content": m.content} for m in messages],
+            "temperature": temperature,
+        }
+        if seed is not None:
+            payload["seed"] = int(seed)
+        request = urllib.request.Request(
+            url=f"{self.base_url.rstrip('/')}/chat/completions",
+            data=json.dumps(payload).encode("utf-8"),
+            headers={
+                "Content-Type": "application/json",
+                "Authorization": f"Bearer {self.api_key}",
+            },
+            method="POST",
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout_s) as response:
+                body = json.loads(response.read().decode("utf-8"))
+        except urllib.error.URLError as exc:  # pragma: no cover - needs network
+            raise OpenAICompatError(f"chat-completion request failed: {exc}") from exc
+
+        try:
+            choice = body["choices"][0]
+            text = choice["message"]["content"]
+            usage = body.get("usage", {})
+        except (KeyError, IndexError) as exc:
+            raise OpenAICompatError(f"malformed API response: {body!r}") from exc
+        return Completion(
+            text=text,
+            model=body.get("model", self.model_name),
+            prompt_tokens=int(usage.get("prompt_tokens", 0)),
+            completion_tokens=int(usage.get("completion_tokens", 0)),
+            metadata={"finish_reason": choice.get("finish_reason")},
+        )

@@ -1,0 +1,172 @@
+"""Synthetic LLM: the offline substitute for GPT-3.5 / GPT-4.
+
+The Nada pipeline only interacts with an LLM through prompts that contain an
+existing code block and a request for an alternative design, and it only
+consumes the code block in the response.  :class:`SyntheticLLM` reproduces
+that contract offline: it parses the request type (state vs. network) from the
+prompt, samples a design from :mod:`repro.llm.design_space`, and wraps it in a
+chat-style response (a short chain-of-thought preamble followed by a fenced
+code block).
+
+Two built-in profiles calibrate the *defect rates* to Table 2 of the paper:
+
+=========  ============  ==============================  ==========
+profile    compilable    well-normalized | compilable     creativity
+=========  ============  ==============================  ==========
+gpt-3.5    41.2%         66.5% (822 / 1237)               lower
+gpt-4      68.6%         73.1% (1505 / 2059)              higher
+=========  ============  ==============================  ==========
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .base import ChatMessage, Completion
+from .design_space import (
+    DesignSample,
+    NetworkDesignSpace,
+    StateDesignSpace,
+)
+
+__all__ = ["LLMProfile", "PROFILES", "SyntheticLLM"]
+
+
+@dataclass(frozen=True)
+class LLMProfile:
+    """Statistical profile of a model's code-generation behaviour."""
+
+    name: str
+    #: Probability a generated design passes the compilation (trial-run) check.
+    compile_success_rate: float
+    #: Probability a *compilable* state design is well normalized.
+    normalized_given_compilable: float
+    #: How adventurous the designs are (0 = conservative, 1 = very creative).
+    creativity: float
+
+    def __post_init__(self) -> None:
+        for value in (self.compile_success_rate, self.normalized_given_compilable,
+                      self.creativity):
+            if not 0.0 <= value <= 1.0:
+                raise ValueError("profile probabilities must be within [0, 1]")
+
+
+#: Profiles calibrated against Table 2 of the paper.
+PROFILES = {
+    "gpt-3.5": LLMProfile("gpt-3.5", compile_success_rate=0.412,
+                          normalized_given_compilable=0.665, creativity=0.40),
+    "gpt-4": LLMProfile("gpt-4", compile_success_rate=0.686,
+                        normalized_given_compilable=0.731, creativity=0.70),
+}
+
+_COMPILE_DEFECTS_STATE = ("syntax", "runtime", "shape", "nan")
+_COMPILE_DEFECTS_NETWORK = ("syntax", "runtime", "shape")
+_NORMALIZATION_DEFECTS = ("raw_sizes", "raw_bitrate")
+
+
+class SyntheticLLM:
+    """Deterministic, seedable stand-in for a code-generating chat model."""
+
+    def __init__(self, profile: str | LLMProfile = "gpt-4",
+                 seed: Optional[int] = None) -> None:
+        if isinstance(profile, str):
+            key = profile.lower()
+            if key not in PROFILES:
+                raise KeyError(f"unknown profile {profile!r}; known: {sorted(PROFILES)}")
+            profile = PROFILES[key]
+        self.profile = profile
+        self.model_name = f"synthetic-{profile.name}"
+        self._rng = np.random.default_rng(seed)
+        self._state_space = StateDesignSpace()
+        self._network_space = NetworkDesignSpace()
+        self._calls = 0
+        #: The last sampled design (inspectable by tests and analysis code).
+        self.last_sample: Optional[DesignSample] = None
+
+    # ------------------------------------------------------------------ #
+    def complete(self, messages: Sequence[ChatMessage],
+                 temperature: float = 1.0,
+                 seed: Optional[int] = None) -> Completion:
+        """Produce a chat completion containing one generated code block."""
+        rng = np.random.default_rng(seed) if seed is not None else self._rng
+        prompt_text = "\n".join(m.content for m in messages)
+        kind = self._infer_kind(prompt_text)
+        sample = self.generate_design(kind, rng=rng)
+        self.last_sample = sample
+        self._calls += 1
+        text = self._render_response(sample)
+        return Completion(
+            text=text,
+            model=self.model_name,
+            prompt_tokens=len(prompt_text.split()),
+            completion_tokens=len(text.split()),
+            metadata={"kind": kind, "tags": list(sample.tags)},
+        )
+
+    # ------------------------------------------------------------------ #
+    def generate_design(self, kind: str,
+                        rng: Optional[np.random.Generator] = None) -> DesignSample:
+        """Directly sample a design of ``kind`` ("state" or "network")."""
+        rng = rng if rng is not None else self._rng
+        defect = self._sample_defect(kind, rng)
+        if kind == "state":
+            return self._state_space.sample(rng, defect=defect,
+                                            creativity=self.profile.creativity)
+        if kind == "network":
+            return self._network_space.sample(rng, defect=defect,
+                                              creativity=self.profile.creativity)
+        raise ValueError(f"unknown design kind {kind!r}")
+
+    def _sample_defect(self, kind: str, rng: np.random.Generator) -> Optional[str]:
+        if rng.random() > self.profile.compile_success_rate:
+            pool = (_COMPILE_DEFECTS_STATE if kind == "state"
+                    else _COMPILE_DEFECTS_NETWORK)
+            return str(rng.choice(pool))
+        if kind == "state" and rng.random() > self.profile.normalized_given_compilable:
+            return str(rng.choice(_NORMALIZATION_DEFECTS))
+        return None
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _infer_kind(prompt_text: str) -> str:
+        lowered = prompt_text.lower()
+        network_markers = ("neural network", "architecture", "build_network",
+                           "actor-critic network")
+        state_markers = ("state representation", "state_func", "state design",
+                         "rl state")
+        network_score = sum(marker in lowered for marker in network_markers)
+        state_score = sum(marker in lowered for marker in state_markers)
+        if network_score > state_score:
+            return "network"
+        return "state"
+
+    def _render_response(self, sample: DesignSample) -> str:
+        """Wrap the code block in a chain-of-thought style chat response."""
+        ideas = {
+            "state": [
+                "re-normalize the existing features to a symmetric range",
+                "summarize throughput history with smoothed statistics",
+                "add predictive features for future throughput and download time",
+                "incorporate the playback-buffer trend, which the original state ignores",
+                "prune features that add noise in simple environments",
+            ],
+            "network": [
+                "widen the fully connected layers",
+                "swap the 1-D convolution for a recurrent encoder",
+                "share the hidden layer between the actor and the critic",
+                "switch the activation function for better gradient flow",
+            ],
+        }[sample.kind]
+        chosen = ", ".join(sample.tags) if sample.tags else "a refined baseline"
+        bullet_list = "\n".join(f"{i + 1}. {idea}" for i, idea in enumerate(ideas))
+        return (
+            "Let me analyse the existing implementation step by step.\n\n"
+            f"Possible improvement directions:\n{bullet_list}\n\n"
+            f"I will implement the most promising combination ({chosen}).\n\n"
+            "```python\n"
+            f"{sample.code}\n"
+            "```\n"
+        )

@@ -1,0 +1,105 @@
+"""Activation functions used by the neural-network substrate.
+
+Activations are exposed both as free functions operating on tensors and via a
+string registry (:func:`get_activation`) so that generated architecture code
+can select activations by name ("relu", "leaky_relu", "tanh", ...), mirroring
+the architecture variations the paper reports (e.g. switching the FCC network
+to Leaky ReLU).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from .tensor import Tensor
+
+__all__ = [
+    "relu",
+    "leaky_relu",
+    "elu",
+    "tanh",
+    "sigmoid",
+    "softmax",
+    "log_softmax",
+    "linear",
+    "softplus",
+    "get_activation",
+    "ACTIVATIONS",
+]
+
+
+def relu(x: Tensor) -> Tensor:
+    """Rectified linear unit."""
+    return x.relu()
+
+
+def leaky_relu(x: Tensor, negative_slope: float = 0.01) -> Tensor:
+    """Leaky ReLU with a configurable negative slope."""
+    return x.leaky_relu(negative_slope)
+
+
+def elu(x: Tensor, alpha: float = 1.0) -> Tensor:
+    """Exponential linear unit."""
+    return x.elu(alpha)
+
+
+def tanh(x: Tensor) -> Tensor:
+    """Hyperbolic tangent."""
+    return x.tanh()
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    """Logistic sigmoid."""
+    return x.sigmoid()
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    return x.softmax(axis=axis)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    return x.log_softmax(axis=axis)
+
+
+def linear(x: Tensor) -> Tensor:
+    """Identity activation."""
+    return x
+
+
+def softplus(x: Tensor) -> Tensor:
+    """Smooth approximation of ReLU: ``log(1 + exp(x))``."""
+    # Implemented via a numerically stable formulation: max(x,0) + log1p(exp(-|x|)).
+    return x.relu() + ((-x.abs()).exp() + 1.0).log()
+
+
+ACTIVATIONS: dict[str, Callable[[Tensor], Tensor]] = {
+    "relu": relu,
+    "leaky_relu": leaky_relu,
+    "leakyrelu": leaky_relu,
+    "elu": elu,
+    "tanh": tanh,
+    "sigmoid": sigmoid,
+    "softmax": softmax,
+    "linear": linear,
+    "identity": linear,
+    "none": linear,
+    "softplus": softplus,
+}
+
+
+def get_activation(name: Optional[str]) -> Callable[[Tensor], Tensor]:
+    """Resolve an activation by name; ``None`` maps to the identity.
+
+    Raises:
+        KeyError: if the name is not registered.
+    """
+    if name is None:
+        return linear
+    if callable(name):
+        return name
+    key = name.lower().strip()
+    if key not in ACTIVATIONS:
+        raise KeyError(f"unknown activation {name!r}; known: {sorted(ACTIVATIONS)}")
+    return ACTIVATIONS[key]

@@ -1,0 +1,68 @@
+"""Weight initialization schemes for the NumPy neural-network substrate."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["xavier_uniform", "xavier_normal", "he_normal", "orthogonal", "zeros_init"]
+
+
+def _rng(rng: Optional[np.random.Generator]) -> np.random.Generator:
+    return rng if rng is not None else np.random.default_rng()
+
+
+def xavier_uniform(shape: tuple, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Glorot/Xavier uniform initialization (default for dense layers)."""
+    fan_in, fan_out = _fans(shape)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return _rng(rng).uniform(-limit, limit, size=shape)
+
+
+def xavier_normal(shape: tuple, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Glorot/Xavier normal initialization."""
+    fan_in, fan_out = _fans(shape)
+    std = np.sqrt(2.0 / (fan_in + fan_out))
+    return _rng(rng).normal(0.0, std, size=shape)
+
+
+def he_normal(shape: tuple, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """He initialization, appropriate for ReLU-family activations."""
+    fan_in, _ = _fans(shape)
+    std = np.sqrt(2.0 / fan_in)
+    return _rng(rng).normal(0.0, std, size=shape)
+
+
+def orthogonal(shape: tuple, gain: float = 1.0,
+               rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Orthogonal initialization, used for recurrent weight matrices."""
+    if len(shape) < 2:
+        raise ValueError("orthogonal initialization requires at least 2 dimensions")
+    rows = shape[0]
+    cols = int(np.prod(shape[1:]))
+    flat = _rng(rng).normal(0.0, 1.0, size=(rows, cols))
+    transpose = rows < cols
+    if transpose:
+        flat = flat.T
+    q, r = np.linalg.qr(flat)
+    # Make the decomposition unique (and uniformly distributed) by fixing signs.
+    q = q * np.sign(np.diag(r))
+    if transpose:
+        q = q.T
+    return gain * q[:rows, :cols].reshape(shape)
+
+
+def zeros_init(shape: tuple, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """All-zeros initialization (biases)."""
+    return np.zeros(shape)
+
+
+def _fans(shape: tuple) -> tuple[int, int]:
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    if len(shape) == 2:
+        return shape[0], shape[1]
+    # Convolutional kernels: (out_channels, in_channels, kernel_size)
+    receptive = int(np.prod(shape[2:]))
+    return shape[1] * receptive, shape[0] * receptive

@@ -1,0 +1,44 @@
+"""Saving and loading model parameters.
+
+Checkpoints are stored as ``.npz`` archives so the test-score protocol
+(periodic checkpoint evaluation, §3.1 of the paper) can persist and reload
+policies without any non-NumPy dependency.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import numpy as np
+
+from .layers import Module
+
+__all__ = ["save_state", "load_state", "save_module", "load_module"]
+
+
+def save_state(state: Dict[str, np.ndarray], path: str) -> None:
+    """Write a parameter state dict to ``path`` (``.npz``)."""
+    directory = os.path.dirname(os.path.abspath(path))
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    np.savez(path, **state)
+
+
+def load_state(path: str) -> Dict[str, np.ndarray]:
+    """Read a parameter state dict previously written by :func:`save_state`."""
+    if not path.endswith(".npz") and not os.path.exists(path):
+        path = path + ".npz"
+    with np.load(path) as archive:
+        return {key: archive[key] for key in archive.files}
+
+
+def save_module(module: Module, path: str) -> None:
+    """Persist a module's parameters to disk."""
+    save_state(module.state_dict(), path)
+
+
+def load_module(module: Module, path: str) -> Module:
+    """Load parameters from disk into ``module`` (shapes must match)."""
+    module.load_state_dict(load_state(path))
+    return module

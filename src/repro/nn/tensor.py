@@ -1,0 +1,563 @@
+"""Reverse-mode automatic differentiation over NumPy arrays.
+
+This module provides the :class:`Tensor` class, a thin wrapper around a NumPy
+array that records the operations applied to it and can back-propagate
+gradients through the resulting computation graph.  It supports the operations
+needed by the actor-critic networks used in this reproduction (dense layers,
+1-D convolutions, recurrent cells, softmax policies) as well as arbitrary
+architectures produced by the LLM design generator.
+
+The design intentionally mirrors small educational autograd engines: each
+``Tensor`` stores its value, an optional gradient, the parent tensors it was
+derived from and a local backward function.  Calling :meth:`Tensor.backward`
+performs a topological sort of the graph and accumulates gradients.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence, Union
+
+import numpy as np
+
+ArrayLike = Union[np.ndarray, float, int, list, tuple, "Tensor"]
+
+__all__ = [
+    "Tensor",
+    "tensor",
+    "zeros",
+    "ones",
+    "randn",
+    "concatenate",
+    "stack",
+    "no_grad",
+    "is_grad_enabled",
+]
+
+
+_GRAD_ENABLED = True
+
+
+class no_grad:
+    """Context manager that disables gradient tracking.
+
+    Used during evaluation rollouts where only forward passes are needed,
+    which keeps memory usage flat during long simulations.
+    """
+
+    def __enter__(self) -> "no_grad":
+        global _GRAD_ENABLED
+        self._previous = _GRAD_ENABLED
+        _GRAD_ENABLED = False
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        global _GRAD_ENABLED
+        _GRAD_ENABLED = self._previous
+
+
+def is_grad_enabled() -> bool:
+    """Return whether gradient tracking is currently enabled."""
+    return _GRAD_ENABLED
+
+
+def _as_array(value: ArrayLike) -> np.ndarray:
+    if isinstance(value, Tensor):
+        return value.data
+    return np.asarray(value, dtype=np.float64)
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
+    """Sum ``grad`` so that it matches ``shape`` (inverse of broadcasting)."""
+    if grad.shape == shape:
+        return grad
+    # Sum over leading dimensions that were added by broadcasting.
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    # Sum over axes that were broadcast from size 1.
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad
+
+
+class Tensor:
+    """A NumPy-backed tensor with reverse-mode autodiff support."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward", "name")
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        parents: Sequence["Tensor"] = (),
+        backward: Optional[Callable[[np.ndarray], None]] = None,
+        name: str = "",
+    ) -> None:
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self._parents = tuple(parents) if self.requires_grad or parents else ()
+        self._backward = backward
+        self.name = name
+
+    # ------------------------------------------------------------------ #
+    # Basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def shape(self) -> tuple:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}{grad_flag})"
+
+    def item(self) -> float:
+        return float(self.data)
+
+    def numpy(self) -> np.ndarray:
+        return self.data
+
+    def detach(self) -> "Tensor":
+        return Tensor(self.data.copy(), requires_grad=False)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # ------------------------------------------------------------------ #
+    # Graph construction helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _make(
+        data: np.ndarray,
+        parents: Sequence["Tensor"],
+        backward: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        if not requires:
+            return Tensor(data)
+        return Tensor(data, requires_grad=True, parents=parents, backward=backward)
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        grad = _unbroadcast(np.asarray(grad, dtype=np.float64), self.data.shape)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad = self.grad + grad
+
+    # ------------------------------------------------------------------ #
+    # Arithmetic
+    # ------------------------------------------------------------------ #
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(_as_array(other))
+        out_data = self.data + other_t.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad)
+            if other_t.requires_grad:
+                other_t._accumulate(grad)
+
+        return Tensor._make(out_data, (self, other_t), backward)
+
+    def __radd__(self, other: ArrayLike) -> "Tensor":
+        return self.__add__(other)
+
+    def __neg__(self) -> "Tensor":
+        out_data = -self.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(-grad)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(_as_array(other))
+        out_data = self.data - other_t.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad)
+            if other_t.requires_grad:
+                other_t._accumulate(-grad)
+
+        return Tensor._make(out_data, (self, other_t), backward)
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return Tensor(_as_array(other)).__sub__(self)
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(_as_array(other))
+        out_data = self.data * other_t.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * other_t.data)
+            if other_t.requires_grad:
+                other_t._accumulate(grad * self.data)
+
+        return Tensor._make(out_data, (self, other_t), backward)
+
+    def __rmul__(self, other: ArrayLike) -> "Tensor":
+        return self.__mul__(other)
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(_as_array(other))
+        out_data = self.data / other_t.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad / other_t.data)
+            if other_t.requires_grad:
+                other_t._accumulate(-grad * self.data / (other_t.data ** 2))
+
+        return Tensor._make(out_data, (self, other_t), backward)
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return Tensor(_as_array(other)).__truediv__(self)
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        out_data = self.data ** exponent
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * exponent * self.data ** (exponent - 1))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def __matmul__(self, other: ArrayLike) -> "Tensor":
+        return self.matmul(other)
+
+    def matmul(self, other: ArrayLike) -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(_as_array(other))
+        out_data = self.data @ other_t.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                if other_t.data.ndim == 1:
+                    self._accumulate(np.outer(grad, other_t.data)
+                                     if self.data.ndim == 2 else grad * other_t.data)
+                else:
+                    self._accumulate(grad @ other_t.data.swapaxes(-1, -2))
+            if other_t.requires_grad:
+                if self.data.ndim == 1:
+                    other_t._accumulate(np.outer(self.data, grad)
+                                        if other_t.data.ndim == 2 else grad * self.data)
+                else:
+                    other_t._accumulate(self.data.swapaxes(-1, -2) @ grad)
+
+        return Tensor._make(out_data, (self, other_t), backward)
+
+    # ------------------------------------------------------------------ #
+    # Elementwise functions
+    # ------------------------------------------------------------------ #
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * out_data)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def log(self) -> "Tensor":
+        out_data = np.log(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad / self.data)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * (1.0 - out_data ** 2))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def sigmoid(self) -> "Tensor":
+        out_data = 1.0 / (1.0 + np.exp(-self.data))
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * out_data * (1.0 - out_data))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+        out_data = self.data * mask
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * mask)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def leaky_relu(self, negative_slope: float = 0.01) -> "Tensor":
+        mask = self.data > 0
+        out_data = np.where(mask, self.data, negative_slope * self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * np.where(mask, 1.0, negative_slope))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def elu(self, alpha: float = 1.0) -> "Tensor":
+        mask = self.data > 0
+        exp_part = alpha * (np.exp(np.minimum(self.data, 0.0)) - 1.0)
+        out_data = np.where(mask, self.data, exp_part)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * np.where(mask, 1.0, exp_part + alpha))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def abs(self) -> "Tensor":
+        out_data = np.abs(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * np.sign(self.data))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        out_data = np.clip(self.data, low, high)
+        mask = (self.data >= low) & (self.data <= high)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * mask)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def sqrt(self) -> "Tensor":
+        return self ** 0.5
+
+    # ------------------------------------------------------------------ #
+    # Reductions
+    # ------------------------------------------------------------------ #
+    def sum(self, axis: Optional[int] = None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            if not self.requires_grad:
+                return
+            grad = np.asarray(grad, dtype=np.float64)
+            if axis is None:
+                self._accumulate(np.full_like(self.data, float(grad)))
+            else:
+                if not keepdims:
+                    grad = np.expand_dims(grad, axis=axis)
+                self._accumulate(np.broadcast_to(grad, self.data.shape))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def mean(self, axis: Optional[int] = None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        else:
+            count = self.data.shape[axis]
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis: Optional[int] = None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            if not self.requires_grad:
+                return
+            grad = np.asarray(grad, dtype=np.float64)
+            if axis is None:
+                mask = self.data == out_data
+                self._accumulate(mask * float(grad) / mask.sum())
+            else:
+                expanded = out_data if keepdims else np.expand_dims(out_data, axis=axis)
+                g = grad if keepdims else np.expand_dims(grad, axis=axis)
+                mask = self.data == expanded
+                counts = mask.sum(axis=axis, keepdims=True)
+                self._accumulate(mask * g / counts)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------ #
+    # Shape manipulation
+    # ------------------------------------------------------------------ #
+    def reshape(self, *shape: int) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out_data = self.data.reshape(shape)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(np.asarray(grad).reshape(self.data.shape))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def flatten(self) -> "Tensor":
+        return self.reshape(-1)
+
+    def transpose(self, *axes: int) -> "Tensor":
+        axes_tuple = axes if axes else None
+        out_data = self.data.transpose(axes_tuple)
+
+        def backward(grad: np.ndarray) -> None:
+            if not self.requires_grad:
+                return
+            if axes_tuple is None:
+                self._accumulate(np.asarray(grad).transpose())
+            else:
+                inverse = np.argsort(axes_tuple)
+                self._accumulate(np.asarray(grad).transpose(inverse))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def __getitem__(self, index) -> "Tensor":
+        out_data = self.data[index]
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                full = np.zeros_like(self.data)
+                np.add.at(full, index, grad)
+                self._accumulate(full)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------ #
+    # Softmax / log-softmax (stable implementations)
+    # ------------------------------------------------------------------ #
+    def softmax(self, axis: int = -1) -> "Tensor":
+        shifted = self.data - self.data.max(axis=axis, keepdims=True)
+        exp = np.exp(shifted)
+        out_data = exp / exp.sum(axis=axis, keepdims=True)
+
+        def backward(grad: np.ndarray) -> None:
+            if not self.requires_grad:
+                return
+            grad = np.asarray(grad, dtype=np.float64)
+            dot = (grad * out_data).sum(axis=axis, keepdims=True)
+            self._accumulate(out_data * (grad - dot))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def log_softmax(self, axis: int = -1) -> "Tensor":
+        shifted = self.data - self.data.max(axis=axis, keepdims=True)
+        log_sum = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+        out_data = shifted - log_sum
+        softmax = np.exp(out_data)
+
+        def backward(grad: np.ndarray) -> None:
+            if not self.requires_grad:
+                return
+            grad = np.asarray(grad, dtype=np.float64)
+            self._accumulate(grad - softmax * grad.sum(axis=axis, keepdims=True))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------ #
+    # Backward pass
+    # ------------------------------------------------------------------ #
+    def backward(self, grad: Optional[ArrayLike] = None) -> None:
+        """Back-propagate gradients from this tensor through the graph."""
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor without gradients")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("grad must be provided for non-scalar tensors")
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=np.float64)
+
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        self._accumulate(grad)
+        for node in reversed(topo):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+
+
+# ---------------------------------------------------------------------- #
+# Constructors and free functions
+# ---------------------------------------------------------------------- #
+def tensor(data: ArrayLike, requires_grad: bool = False) -> Tensor:
+    """Create a :class:`Tensor` from array-like data."""
+    return Tensor(_as_array(data), requires_grad=requires_grad)
+
+
+def zeros(shape: Union[int, tuple], requires_grad: bool = False) -> Tensor:
+    return Tensor(np.zeros(shape), requires_grad=requires_grad)
+
+
+def ones(shape: Union[int, tuple], requires_grad: bool = False) -> Tensor:
+    return Tensor(np.ones(shape), requires_grad=requires_grad)
+
+
+def randn(
+    shape: Union[int, tuple],
+    scale: float = 1.0,
+    requires_grad: bool = False,
+    rng: Optional[np.random.Generator] = None,
+) -> Tensor:
+    generator = rng if rng is not None else np.random.default_rng()
+    return Tensor(generator.normal(0.0, scale, size=shape), requires_grad=requires_grad)
+
+
+def concatenate(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis``, propagating gradients to each input."""
+    tensors = [t if isinstance(t, Tensor) else Tensor(_as_array(t)) for t in tensors]
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad: np.ndarray) -> None:
+        grad = np.asarray(grad, dtype=np.float64)
+        for t, start, end in zip(tensors, offsets[:-1], offsets[1:]):
+            if t.requires_grad:
+                slicer = [slice(None)] * grad.ndim
+                slicer[axis] = slice(start, end)
+                t._accumulate(grad[tuple(slicer)])
+
+    return Tensor._make(out_data, tuple(tensors), backward)
+
+
+def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new axis, propagating gradients to each input."""
+    tensors = [t if isinstance(t, Tensor) else Tensor(_as_array(t)) for t in tensors]
+    out_data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(grad: np.ndarray) -> None:
+        grad = np.asarray(grad, dtype=np.float64)
+        for index, t in enumerate(tensors):
+            if t.requires_grad:
+                t._accumulate(np.take(grad, index, axis=axis))
+
+    return Tensor._make(out_data, tuple(tensors), backward)

@@ -1,0 +1,189 @@
+"""Advantage actor-critic (A2C) trainer for ABR agents.
+
+This is the training algorithm behind Pensieve (the original uses A3C, the
+asynchronous variant; the synchronous form trains the same objective).  One
+"epoch" is one streaming episode: the agent plays a full video over a randomly
+chosen training trace, and the collected trajectory produces one policy and
+value update.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from .. import nn
+from ..abr.env import SimulatorConfig
+from ..abr.qoe import LinearQoE, QoEMetric
+from ..abr.video import Video
+from ..traces.base import TraceSet
+from .agent import ABRAgent
+from .policy import action_entropy, log_prob_of
+from .rollout import Trajectory, collect_episode, discounted_returns
+from .schedules import ConstantSchedule, LinearSchedule
+
+__all__ = ["A2CConfig", "EpochStats", "A2CTrainer", "evaluate_agent"]
+
+
+@dataclass(frozen=True)
+class A2CConfig:
+    """Hyper-parameters of the actor-critic trainer (Pensieve defaults)."""
+
+    actor_lr: float = 1e-3
+    critic_lr: float = 1e-3
+    gamma: float = 0.99
+    entropy_weight_start: float = 1.0
+    entropy_weight_end: float = 0.1
+    entropy_anneal_epochs: int = 1000
+    value_loss_coefficient: float = 0.5
+    max_grad_norm: float = 10.0
+    optimizer: str = "rmsprop"
+
+
+@dataclass
+class EpochStats:
+    """Per-epoch training metrics returned by :meth:`A2CTrainer.train_epoch`."""
+
+    epoch: int
+    episode_reward: float
+    mean_chunk_reward: float
+    actor_loss: float
+    critic_loss: float
+    entropy: float
+    grad_norm: float
+    trace_name: str
+
+
+def _make_optimizer(name: str, parameters, lr: float):
+    key = name.lower()
+    if key == "rmsprop":
+        return nn.RMSProp(parameters, lr=lr)
+    if key == "adam":
+        return nn.Adam(parameters, lr=lr)
+    if key == "sgd":
+        return nn.SGD(parameters, lr=lr)
+    raise ValueError(f"unknown optimizer {name!r}")
+
+
+class A2CTrainer:
+    """Trains an :class:`ABRAgent` with synchronous advantage actor-critic."""
+
+    def __init__(self, agent: ABRAgent, video: Video, train_traces: TraceSet,
+                 qoe: Optional[QoEMetric] = None,
+                 config: Optional[A2CConfig] = None,
+                 simulator_config: Optional[SimulatorConfig] = None,
+                 seed: Optional[int] = None) -> None:
+        self.agent = agent
+        self.video = video
+        self.train_traces = train_traces
+        self.qoe = qoe or LinearQoE(video.bitrates_kbps)
+        self.config = config or A2CConfig()
+        self.simulator_config = simulator_config
+        self._rng = np.random.default_rng(seed)
+        self.agent.seed(int(self._rng.integers(2 ** 31)))
+        parameters = self.agent.network.parameters()
+        self._optimizer = _make_optimizer(self.config.optimizer, parameters,
+                                          self.config.actor_lr)
+        cfg = self.config
+        if cfg.entropy_anneal_epochs > 0:
+            self._entropy_schedule = LinearSchedule(
+                cfg.entropy_weight_start, cfg.entropy_weight_end,
+                cfg.entropy_anneal_epochs)
+        else:
+            self._entropy_schedule = ConstantSchedule(cfg.entropy_weight_start)
+        self.epoch = 0
+        self.history: List[EpochStats] = []
+
+    # ------------------------------------------------------------------ #
+    @property
+    def reward_history(self) -> List[float]:
+        """Episode rewards of every epoch trained so far.
+
+        This is the training-reward trajectory that the early-stopping
+        classifier consumes (§2.2 of the paper).
+        """
+        return [stats.episode_reward for stats in self.history]
+
+    # ------------------------------------------------------------------ #
+    def train_epoch(self) -> EpochStats:
+        """Run one episode and apply one actor-critic update."""
+        trace = self.train_traces.sample(self._rng)
+        start_offset = float(self._rng.uniform(0.0, trace.duration_s))
+        trajectory = collect_episode(
+            self.agent, self.video, trace, qoe=self.qoe,
+            config=self.simulator_config, rng=self._rng,
+            start_offset_s=start_offset)
+        stats = self._update(trajectory, trace.name)
+        self.epoch += 1
+        self.history.append(stats)
+        return stats
+
+    def train(self, num_epochs: int,
+              callback: Optional[Callable[[EpochStats], None]] = None) -> List[EpochStats]:
+        """Train for ``num_epochs`` episodes; returns the per-epoch stats."""
+        stats_list = []
+        for _ in range(num_epochs):
+            stats = self.train_epoch()
+            stats_list.append(stats)
+            if callback is not None:
+                callback(stats)
+        return stats_list
+
+    # ------------------------------------------------------------------ #
+    def _update(self, trajectory: Trajectory, trace_name: str) -> EpochStats:
+        states = nn.tensor(trajectory.stacked_states())
+        actions = np.asarray(trajectory.actions, dtype=np.int64)
+        returns = discounted_returns(trajectory.rewards, self.config.gamma)
+
+        logits, values = self.agent.network.forward(states)
+        advantages = returns - values.numpy()
+
+        log_probs = log_prob_of(logits, actions)
+        entropy = action_entropy(logits)
+        entropy_weight = self._entropy_schedule(self.epoch)
+
+        actor_loss = nn.policy_gradient_loss(log_probs, advantages)
+        critic_loss = nn.mse_loss(values, nn.tensor(returns))
+        loss = (actor_loss
+                + self.config.value_loss_coefficient * critic_loss
+                - entropy_weight * entropy)
+
+        self._optimizer.zero_grad()
+        loss.backward()
+        grad_norm = nn.clip_grad_norm(self.agent.network.parameters(),
+                                      self.config.max_grad_norm)
+        self._optimizer.step()
+
+        return EpochStats(
+            epoch=self.epoch,
+            episode_reward=trajectory.total_reward,
+            mean_chunk_reward=trajectory.mean_reward,
+            actor_loss=float(actor_loss.item()),
+            critic_loss=float(critic_loss.item()),
+            entropy=float(entropy.item()),
+            grad_norm=float(grad_norm),
+            trace_name=trace_name,
+        )
+
+
+def evaluate_agent(agent: ABRAgent, video: Video, traces: TraceSet,
+                   qoe: Optional[QoEMetric] = None,
+                   simulator_config: Optional[SimulatorConfig] = None,
+                   greedy: bool = True,
+                   seed: Optional[int] = None) -> float:
+    """Mean per-chunk reward of ``agent`` across every trace in ``traces``.
+
+    This is the quantity plotted on the y-axis of Figures 3 and 4 ("test
+    score" before seed-aggregation).
+    """
+    rng = np.random.default_rng(seed)
+    qoe = qoe or LinearQoE(video.bitrates_kbps)
+    rewards = []
+    for trace in traces:
+        trajectory = collect_episode(agent, video, trace, qoe=qoe,
+                                     config=simulator_config, rng=rng,
+                                     greedy=greedy)
+        rewards.append(trajectory.mean_reward)
+    return float(np.mean(rewards))

@@ -1,0 +1,100 @@
+"""ABR agent: binds a state function to an actor-critic network.
+
+The agent is the unit that the Nada pipeline evaluates: a candidate *design*
+is a (state function, network builder) pair, and instantiating it produces an
+:class:`ABRAgent` that can act in the simulator or the emulator.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .. import nn
+from ..abr.env import Observation
+from ..abr.networks import ActorCriticNetwork, original_network_builder
+from ..abr.state import StateFunction
+from .policy import greedy_action, sample_action
+
+__all__ = ["ABRAgent"]
+
+
+class ABRAgent:
+    """An RL-based ABR policy: state function + actor-critic network."""
+
+    def __init__(self, state_function: StateFunction, network: ActorCriticNetwork,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        self.state_function = state_function
+        self.network = network
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_builder(cls, state_function: StateFunction, network_builder,
+                     sample_observation: Observation, num_actions: int,
+                     rng: Optional[np.random.Generator] = None) -> "ABRAgent":
+        """Instantiate the network for the shape this state function produces.
+
+        ``sample_observation`` is used to probe the state shape before the
+        network is constructed — the same order of operations Nada uses when
+        evaluating a generated design.
+        """
+        state_function.reset_shape()
+        shape = state_function.probe_shape(sample_observation)
+        network = network_builder(shape, num_actions, rng=rng)
+        if not isinstance(network, ActorCriticNetwork):
+            raise TypeError("network builder must return an ActorCriticNetwork")
+        return cls(state_function, network, rng=rng)
+
+    @classmethod
+    def original(cls, sample_observation: Observation, num_actions: int,
+                 rng: Optional[np.random.Generator] = None) -> "ABRAgent":
+        """The unmodified Pensieve design (original state + original network)."""
+        return cls.from_builder(StateFunction.original(), original_network_builder,
+                                sample_observation, num_actions, rng=rng)
+
+    # ------------------------------------------------------------------ #
+    def state_of(self, observation: Observation) -> np.ndarray:
+        """Compute the feature array for an observation."""
+        return self.state_function(observation)
+
+    def action_probabilities(self, state: np.ndarray) -> np.ndarray:
+        """Forward pass without gradient tracking; returns action probabilities."""
+        with nn.no_grad():
+            batch = nn.tensor(state[None, ...])
+            probs = self.network.policy(batch)
+        return probs.numpy()[0]
+
+    def act(self, observation: Observation, greedy: bool = False) -> int:
+        """Choose a bitrate for the next chunk."""
+        state = self.state_of(observation)
+        probs = self.action_probabilities(state)
+        if greedy:
+            return greedy_action(probs)
+        return sample_action(probs, self._rng)
+
+    def act_with_state(self, observation: Observation,
+                       greedy: bool = False) -> Tuple[int, np.ndarray]:
+        """Like :meth:`act` but also returns the computed state (for rollouts)."""
+        state = self.state_of(observation)
+        probs = self.action_probabilities(state)
+        action = greedy_action(probs) if greedy else sample_action(probs, self._rng)
+        return action, state
+
+    # ------------------------------------------------------------------ #
+    def greedy_policy(self):
+        """A plain ``observation -> action`` callable using greedy decisions."""
+        def policy(observation: Observation) -> int:
+            return self.act(observation, greedy=True)
+        return policy
+
+    def stochastic_policy(self):
+        """A plain ``observation -> action`` callable that samples actions."""
+        def policy(observation: Observation) -> int:
+            return self.act(observation, greedy=False)
+        return policy
+
+    def seed(self, seed: int) -> None:
+        """Re-seed the agent's action-sampling RNG."""
+        self._rng = np.random.default_rng(seed)

@@ -1,0 +1,78 @@
+"""Episode rollouts: run one streaming session and collect a trajectory."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..abr.env import SessionResult, StreamingSession, SimulatorConfig
+from ..abr.qoe import QoEMetric
+from ..abr.video import Video
+from ..traces.base import Trace
+from .agent import ABRAgent
+
+__all__ = ["Trajectory", "collect_episode", "discounted_returns"]
+
+
+@dataclass
+class Trajectory:
+    """States, actions and rewards from one streaming episode."""
+
+    states: List[np.ndarray] = field(default_factory=list)
+    actions: List[int] = field(default_factory=list)
+    rewards: List[float] = field(default_factory=list)
+    session: Optional[SessionResult] = None
+
+    def __len__(self) -> int:
+        return len(self.actions)
+
+    @property
+    def total_reward(self) -> float:
+        return float(sum(self.rewards))
+
+    @property
+    def mean_reward(self) -> float:
+        return self.total_reward / max(len(self.rewards), 1)
+
+    def stacked_states(self) -> np.ndarray:
+        """States stacked along a new leading batch axis."""
+        return np.stack(self.states, axis=0)
+
+
+def discounted_returns(rewards: List[float], gamma: float,
+                       bootstrap_value: float = 0.0) -> np.ndarray:
+    """Compute discounted returns ``G_t = r_t + gamma * G_{t+1}``."""
+    returns = np.zeros(len(rewards))
+    running = bootstrap_value
+    for index in reversed(range(len(rewards))):
+        running = rewards[index] + gamma * running
+        returns[index] = running
+    return returns
+
+
+def collect_episode(agent: ABRAgent, video: Video, trace: Trace,
+                    qoe: Optional[QoEMetric] = None,
+                    config: Optional[SimulatorConfig] = None,
+                    rng: Optional[np.random.Generator] = None,
+                    greedy: bool = False,
+                    start_offset_s: Optional[float] = None) -> Trajectory:
+    """Stream ``video`` over ``trace`` with ``agent`` and record the trajectory.
+
+    During training the episode starts at a random offset into the trace
+    (passed via ``start_offset_s``), matching how Pensieve randomizes the
+    mapping between videos and trace positions across epochs.
+    """
+    session = StreamingSession(video, trace, qoe=qoe, config=config, rng=rng,
+                               start_offset_s=start_offset_s)
+    trajectory = Trajectory()
+    while not session.done:
+        observation = session.observe()
+        action, state = agent.act_with_state(observation, greedy=greedy)
+        record, _ = session.step(action)
+        trajectory.states.append(state)
+        trajectory.actions.append(action)
+        trajectory.rewards.append(record.reward)
+    trajectory.session = session.result()
+    return trajectory

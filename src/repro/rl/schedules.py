@@ -1,0 +1,55 @@
+"""Hyper-parameter schedules used during RL training."""
+
+from __future__ import annotations
+
+__all__ = ["ConstantSchedule", "LinearSchedule", "ExponentialDecaySchedule"]
+
+
+class ConstantSchedule:
+    """Always returns the same value."""
+
+    def __init__(self, value: float) -> None:
+        self.value = float(value)
+
+    def __call__(self, step: int) -> float:
+        return self.value
+
+
+class LinearSchedule:
+    """Linear interpolation from ``start`` to ``end`` over ``duration`` steps.
+
+    Pensieve anneals the entropy weight linearly over training; this schedule
+    reproduces that behaviour.
+    """
+
+    def __init__(self, start: float, end: float, duration: int) -> None:
+        if duration < 1:
+            raise ValueError("duration must be at least 1")
+        self.start = float(start)
+        self.end = float(end)
+        self.duration = int(duration)
+
+    def __call__(self, step: int) -> float:
+        if step >= self.duration:
+            return self.end
+        fraction = max(step, 0) / self.duration
+        return self.start + fraction * (self.end - self.start)
+
+
+class ExponentialDecaySchedule:
+    """Multiplicative decay: ``value = start * decay ** (step / period)``."""
+
+    def __init__(self, start: float, decay: float, period: int = 1,
+                 floor: float = 0.0) -> None:
+        if period < 1:
+            raise ValueError("period must be at least 1")
+        if not 0.0 < decay <= 1.0:
+            raise ValueError("decay must be in (0, 1]")
+        self.start = float(start)
+        self.decay = float(decay)
+        self.period = int(period)
+        self.floor = float(floor)
+
+    def __call__(self, step: int) -> float:
+        value = self.start * self.decay ** (max(step, 0) / self.period)
+        return max(value, self.floor)

@@ -1,0 +1,39 @@
+"""Network bandwidth traces: data structures, synthetic generators, loaders.
+
+This package is the substitute for the paper's measured FCC / Starlink / 4G /
+5G datasets (see DESIGN.md §2 for the substitution rationale).
+"""
+
+from .base import Trace, TraceSet
+from .loaders import (
+    load_mahimahi_format,
+    load_pensieve_format,
+    load_traceset,
+    save_mahimahi_format,
+    save_pensieve_format,
+    save_traceset,
+)
+from .registry import ENVIRONMENTS, EnvironmentSpec, build_dataset, list_environments
+from .stats import PAPER_TABLE1, DatasetStats, compute_dataset_stats
+from .synthetic import (
+    STARLINK_PEAK_HOUR_CAPACITY_FACTOR,
+    fcc_dataset,
+    generate_4g_trace,
+    generate_5g_trace,
+    generate_fcc_trace,
+    generate_starlink_trace,
+    lte_dataset,
+    nr5g_dataset,
+    starlink_dataset,
+)
+
+__all__ = [
+    "Trace", "TraceSet",
+    "generate_fcc_trace", "generate_starlink_trace", "generate_4g_trace",
+    "generate_5g_trace", "fcc_dataset", "starlink_dataset", "lte_dataset",
+    "nr5g_dataset", "STARLINK_PEAK_HOUR_CAPACITY_FACTOR",
+    "save_pensieve_format", "load_pensieve_format", "save_mahimahi_format",
+    "load_mahimahi_format", "save_traceset", "load_traceset",
+    "DatasetStats", "compute_dataset_stats", "PAPER_TABLE1",
+    "EnvironmentSpec", "ENVIRONMENTS", "build_dataset", "list_environments",
+]

@@ -1,0 +1,64 @@
+"""Named registry of the paper's trace datasets.
+
+Benchmarks and examples look environments up by name ("fcc", "starlink", "4g",
+"5g") instead of importing individual generator functions, which keeps the
+experiment drivers environment-agnostic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+from .base import TraceSet
+from .synthetic import fcc_dataset, lte_dataset, nr5g_dataset, starlink_dataset
+
+__all__ = ["EnvironmentSpec", "ENVIRONMENTS", "build_dataset", "list_environments"]
+
+DatasetBuilder = Callable[..., Tuple[TraceSet, TraceSet]]
+
+
+@dataclass(frozen=True)
+class EnvironmentSpec:
+    """Description of one network environment the paper evaluates on."""
+
+    name: str
+    display_name: str
+    builder: DatasetBuilder
+    #: Bitrate ladder key used for this environment ("standard" or "high").
+    bitrate_ladder: str
+    #: Published training schedule (epochs, checkpoint test interval).
+    train_epochs: int
+    test_interval: int
+
+
+ENVIRONMENTS: Dict[str, EnvironmentSpec] = {
+    "fcc": EnvironmentSpec("fcc", "FCC", fcc_dataset, "standard", 40_000, 500),
+    "starlink": EnvironmentSpec("starlink", "Starlink", starlink_dataset, "standard",
+                                4_000, 100),
+    "4g": EnvironmentSpec("4g", "4G", lte_dataset, "high", 40_000, 500),
+    "5g": EnvironmentSpec("5g", "5G", nr5g_dataset, "high", 40_000, 500),
+}
+
+
+def list_environments() -> list[str]:
+    """Names of all registered environments, in Table 1 order."""
+    return list(ENVIRONMENTS)
+
+
+def build_dataset(environment: str, seed: int = 0, scale: float = 1.0,
+                  ) -> Tuple[TraceSet, TraceSet]:
+    """Build the (train, test) split for a named environment.
+
+    Args:
+        environment: one of ``fcc``, ``starlink``, ``4g``, ``5g``.
+        seed: base seed for the trace generators.
+        scale: fraction of the full Table 1 dataset size to generate; 1.0
+            reproduces the published trace counts, smaller values give fast
+            datasets for tests and examples.
+    """
+    key = environment.lower()
+    if key not in ENVIRONMENTS:
+        raise KeyError(f"unknown environment {environment!r}; "
+                       f"known: {list_environments()}")
+    return ENVIRONMENTS[key].builder(seed=seed, scale=scale)

@@ -1,0 +1,85 @@
+"""Dataset statistics used to regenerate Table 1 of the paper."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from .base import TraceSet
+
+__all__ = ["DatasetStats", "compute_dataset_stats", "PAPER_TABLE1"]
+
+
+@dataclass(frozen=True)
+class DatasetStats:
+    """One row of Table 1.
+
+    Attributes mirror the published columns: the number of traces and total
+    hours for the train and test splits, the average throughput in Mbps, and
+    the training schedule (epochs, checkpoint test interval) used for the
+    environment.
+    """
+
+    dataset: str
+    train_traces: int
+    train_hours: float
+    test_traces: int
+    test_hours: float
+    throughput_mbps: float
+    train_epochs: int
+    test_interval: int
+
+    def as_row(self) -> List[str]:
+        """Format as strings in the order of the published table."""
+        return [
+            self.dataset,
+            str(self.train_traces),
+            f"{self.train_hours:.1f}",
+            str(self.test_traces),
+            f"{self.test_hours:.1f}",
+            f"{self.throughput_mbps:.1f}",
+            f"{self.train_epochs:,}",
+            str(self.test_interval),
+        ]
+
+
+#: The values published in Table 1, used for comparison in EXPERIMENTS.md and
+#: by the Table 1 benchmark.
+PAPER_TABLE1: Dict[str, DatasetStats] = {
+    "fcc": DatasetStats("FCC", 85, 10.0, 290, 25.7, 1.3, 40_000, 500),
+    "starlink": DatasetStats("Starlink", 13, 0.9, 12, 0.8, 1.6, 4_000, 100),
+    "4g": DatasetStats("4G", 119, 10.0, 121, 10.0, 19.8, 40_000, 500),
+    "5g": DatasetStats("5G", 117, 10.0, 119, 10.0, 30.2, 40_000, 500),
+}
+
+
+def compute_dataset_stats(
+    dataset: str,
+    train: TraceSet,
+    test: TraceSet,
+    train_epochs: Optional[int] = None,
+    test_interval: Optional[int] = None,
+) -> DatasetStats:
+    """Compute Table 1 statistics for a generated train/test split.
+
+    The throughput column reports the duration-weighted mean across both
+    splits, matching how the paper characterizes each environment.
+    """
+    total_hours = train.total_hours + test.total_hours
+    if total_hours <= 0:
+        raise ValueError("trace sets have zero total duration")
+    weighted = (train.mean_throughput_mbps * train.total_hours
+                + test.mean_throughput_mbps * test.total_hours) / total_hours
+    reference = PAPER_TABLE1.get(dataset.lower())
+    return DatasetStats(
+        dataset=dataset,
+        train_traces=len(train),
+        train_hours=train.total_hours,
+        test_traces=len(test),
+        test_hours=test.total_hours,
+        throughput_mbps=weighted,
+        train_epochs=train_epochs if train_epochs is not None else (
+            reference.train_epochs if reference else 0),
+        test_interval=test_interval if test_interval is not None else (
+            reference.test_interval if reference else 0),
+    )

@@ -1,0 +1,73 @@
+"""Shared fixtures for the test suite: tiny videos, traces and observations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.abr import LinearQoE, StreamingSession, synthetic_video
+from repro.traces import Trace, TraceSet, generate_fcc_trace, generate_starlink_trace
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_video():
+    """A short standard-ladder video (12 chunks of 4 s)."""
+    return synthetic_video("standard", num_chunks=12, seed=7)
+
+
+@pytest.fixture
+def high_video():
+    """A short high-ladder (4G/5G) video."""
+    return synthetic_video("high", num_chunks=12, seed=7)
+
+
+@pytest.fixture
+def flat_trace():
+    """A perfectly constant 3 Mbps trace, useful for deterministic arithmetic."""
+    timestamps = np.arange(0.0, 400.0, 1.0)
+    throughputs = np.full_like(timestamps, 3.0)
+    return Trace(timestamps, throughputs, name="flat-3mbps")
+
+
+@pytest.fixture
+def slow_trace():
+    """A constant 0.4 Mbps trace that forces rebuffering at high bitrates."""
+    timestamps = np.arange(0.0, 400.0, 1.0)
+    throughputs = np.full_like(timestamps, 0.4)
+    return Trace(timestamps, throughputs, name="flat-0.4mbps")
+
+
+@pytest.fixture
+def fcc_traceset():
+    traces = [generate_fcc_trace(duration_s=150.0, seed=i, name=f"fcc-{i}")
+              for i in range(3)]
+    return TraceSet(traces, name="fcc-mini")
+
+
+@pytest.fixture
+def starlink_traceset():
+    traces = [generate_starlink_trace(duration_s=150.0, seed=i, name=f"sl-{i}")
+              for i in range(3)]
+    return TraceSet(traces, name="starlink-mini")
+
+
+@pytest.fixture
+def sample_observation(small_video, flat_trace):
+    """A representative observation taken a few chunks into a session."""
+    session = StreamingSession(small_video, flat_trace,
+                               qoe=LinearQoE(small_video.bitrates_kbps))
+    for _ in range(3):
+        session.step(1)
+    return session.observe()
+
+
+@pytest.fixture
+def fresh_observation(small_video, flat_trace):
+    """The observation at the very start of a session (all-zero histories)."""
+    session = StreamingSession(small_video, flat_trace)
+    return session.observe()

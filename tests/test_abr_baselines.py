@@ -1,0 +1,163 @@
+"""Tests for the classic ABR baseline policies."""
+
+import numpy as np
+import pytest
+
+from repro.abr import (
+    BASELINE_POLICIES,
+    BolaPolicy,
+    BufferBasedPolicy,
+    FixedBitratePolicy,
+    LinearQoE,
+    RandomPolicy,
+    RateBasedPolicy,
+    RobustMPCPolicy,
+    make_baseline,
+    run_session,
+    synthetic_video,
+)
+from repro.traces import Trace, generate_fcc_trace
+
+
+def _observation_with(sample_observation, **overrides):
+    obs = sample_observation.copy()
+    for key, value in overrides.items():
+        setattr(obs, key, value)
+    return obs
+
+
+class TestFixedAndRandom:
+    def test_fixed_policy_clamps_to_ladder(self, sample_observation):
+        assert FixedBitratePolicy(3)(sample_observation) == 3
+        assert FixedBitratePolicy(99)(sample_observation) == 5
+
+    def test_random_policy_in_range_and_seedable(self, sample_observation):
+        policy_a = RandomPolicy(seed=0)
+        policy_b = RandomPolicy(seed=0)
+        choices_a = [policy_a(sample_observation) for _ in range(20)]
+        choices_b = [policy_b(sample_observation) for _ in range(20)]
+        assert choices_a == choices_b
+        assert all(0 <= c < 6 for c in choices_a)
+        assert len(set(choices_a)) > 1
+
+
+class TestBufferBased:
+    def test_low_buffer_selects_lowest(self, sample_observation):
+        obs = _observation_with(sample_observation, buffer_s=1.0)
+        assert BufferBasedPolicy(reservoir_s=5.0)(obs) == 0
+
+    def test_high_buffer_selects_highest(self, sample_observation):
+        obs = _observation_with(sample_observation, buffer_s=50.0)
+        assert BufferBasedPolicy(reservoir_s=5.0, cushion_s=25.0)(obs) == 5
+
+    def test_intermediate_buffer_interpolates(self, sample_observation):
+        policy = BufferBasedPolicy(reservoir_s=5.0, cushion_s=25.0)
+        obs = _observation_with(sample_observation, buffer_s=17.5)
+        choice = policy(obs)
+        assert 1 <= choice <= 4
+
+    def test_monotone_in_buffer(self, sample_observation):
+        policy = BufferBasedPolicy()
+        choices = [policy(_observation_with(sample_observation, buffer_s=b))
+                   for b in np.linspace(0, 40, 20)]
+        assert all(b >= a for a, b in zip(choices, choices[1:]))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            BufferBasedPolicy(reservoir_s=-1.0)
+        with pytest.raises(ValueError):
+            BufferBasedPolicy(cushion_s=0.0)
+
+
+class TestRateBased:
+    def test_selects_highest_sustainable_bitrate(self, sample_observation):
+        obs = sample_observation.copy()
+        obs.throughput_mbps_history[:] = 2.0  # sustainable: 1850 kbps (index 3)
+        assert RateBasedPolicy()(obs) == 3
+
+    def test_zero_history_selects_lowest(self, fresh_observation):
+        assert RateBasedPolicy()(fresh_observation) == 0
+
+    def test_safety_factor_is_conservative(self, sample_observation):
+        obs = sample_observation.copy()
+        obs.throughput_mbps_history[:] = 2.0
+        aggressive = RateBasedPolicy(safety_factor=1.0)(obs)
+        cautious = RateBasedPolicy(safety_factor=2.0)(obs)
+        assert cautious <= aggressive
+
+    def test_harmonic_mean_punishes_outliers(self, sample_observation):
+        obs = sample_observation.copy()
+        obs.throughput_mbps_history[:] = 10.0
+        obs.throughput_mbps_history[-1] = 0.5
+        prediction = RateBasedPolicy(window=8).predict_throughput_mbps(obs)
+        assert prediction < np.mean(obs.throughput_mbps_history)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            RateBasedPolicy(safety_factor=0.0)
+
+
+class TestBola:
+    def test_low_buffer_prefers_low_bitrate(self, sample_observation):
+        obs = _observation_with(sample_observation, buffer_s=0.5)
+        assert BolaPolicy()(obs) <= 1
+
+    def test_large_buffer_prefers_high_bitrate(self, sample_observation):
+        obs = _observation_with(sample_observation, buffer_s=40.0)
+        assert BolaPolicy()(obs) >= 3
+
+    def test_returns_valid_index_across_buffers(self, sample_observation):
+        policy = BolaPolicy()
+        for buffer_s in np.linspace(0.0, 60.0, 25):
+            choice = policy(_observation_with(sample_observation, buffer_s=buffer_s))
+            assert 0 <= choice < 6
+
+
+class TestRobustMPC:
+    def test_reasonable_choice_on_fast_history(self, sample_observation):
+        obs = sample_observation.copy()
+        obs.throughput_mbps_history[:] = 4.0
+        obs.buffer_s = 20.0
+        choice = RobustMPCPolicy(horizon=3)(obs)
+        assert 2 <= choice <= 5
+
+    def test_conservative_on_slow_history(self, sample_observation):
+        obs = sample_observation.copy()
+        obs.throughput_mbps_history[:] = 0.3
+        obs.buffer_s = 2.0
+        assert RobustMPCPolicy(horizon=3)(obs) == 0
+
+    def test_prediction_error_discounting(self, sample_observation):
+        policy = RobustMPCPolicy(horizon=2)
+        obs = sample_observation.copy()
+        obs.throughput_mbps_history[:] = 5.0
+        policy(obs)  # records a prediction
+        obs2 = sample_observation.copy()
+        obs2.throughput_mbps_history[:] = 1.0  # large prediction error
+        policy(obs2)
+        assert len(policy._past_errors) >= 1
+
+    def test_invalid_horizon(self):
+        with pytest.raises(ValueError):
+            RobustMPCPolicy(horizon=0)
+
+    def test_outperforms_fixed_highest_on_variable_link(self, small_video):
+        trace = generate_fcc_trace(duration_s=300, seed=3)
+        qoe = LinearQoE(small_video.bitrates_kbps)
+        mpc = run_session(RobustMPCPolicy(horizon=3), small_video, trace, qoe=qoe)
+        worst = run_session(FixedBitratePolicy(5), small_video, trace, qoe=qoe)
+        assert mpc.mean_reward > worst.mean_reward
+
+
+class TestRegistry:
+    def test_make_baseline_registry(self):
+        for name in ("fixed", "random", "bba", "rate_based", "bola", "mpc"):
+            assert callable(make_baseline(name))
+        with pytest.raises(KeyError):
+            make_baseline("pensieve")
+
+    def test_all_baselines_complete_a_session(self, small_video, fcc_traceset):
+        for name in sorted(set(BASELINE_POLICIES)):
+            policy = make_baseline(name)
+            result = run_session(policy, small_video, fcc_traceset[0])
+            assert result.num_chunks == small_video.num_chunks

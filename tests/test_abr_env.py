@@ -1,0 +1,188 @@
+"""Tests for the chunk-level simulator and the streaming-session layer."""
+
+import numpy as np
+import pytest
+
+from repro.abr import (
+    ChunkLevelSimulator,
+    FixedBitratePolicy,
+    HISTORY_LENGTH,
+    LinearQoE,
+    SimulatorConfig,
+    StreamingSession,
+    run_session,
+    synthetic_video,
+)
+from repro.traces import Trace
+
+
+class TestChunkLevelSimulator:
+    def test_download_time_matches_flat_link(self, small_video, flat_trace):
+        sim = ChunkLevelSimulator(small_video, flat_trace,
+                                  config=SimulatorConfig(link_rtt_s=0.0,
+                                                         payload_fraction=1.0))
+        result = sim.step(0)
+        expected = result.chunk_size_bytes * 8 / (3.0 * 1e6)
+        assert result.download_time_s == pytest.approx(expected, rel=1e-6)
+
+    def test_rtt_added_to_download_time(self, small_video, flat_trace):
+        config = SimulatorConfig(link_rtt_s=0.5, payload_fraction=1.0)
+        sim = ChunkLevelSimulator(small_video, flat_trace, config=config)
+        result = sim.step(0)
+        base = result.chunk_size_bytes * 8 / (3.0 * 1e6)
+        assert result.download_time_s == pytest.approx(base + 0.5, rel=1e-6)
+
+    def test_rebuffering_on_slow_link(self, small_video, slow_trace):
+        sim = ChunkLevelSimulator(small_video, slow_trace)
+        result = sim.step(5)  # highest bitrate on a 0.4 Mbps link
+        assert result.rebuffer_s > 0
+        # Buffer after the first chunk equals one chunk duration.
+        assert result.buffer_s == pytest.approx(small_video.chunk_duration_s)
+
+    def test_no_rebuffering_on_fast_link_after_warmup(self, small_video, flat_trace):
+        sim = ChunkLevelSimulator(small_video, flat_trace)
+        sim.step(0)
+        second = sim.step(0)
+        assert second.rebuffer_s == 0.0
+
+    def test_buffer_accumulates_and_is_capped(self, flat_trace):
+        video = synthetic_video("standard", num_chunks=40, seed=0)
+        config = SimulatorConfig(max_buffer_s=20.0)
+        sim = ChunkLevelSimulator(video, flat_trace, config=config)
+        buffers = [sim.step(0).buffer_s for _ in range(30)]
+        assert max(buffers) <= config.max_buffer_s + video.chunk_duration_s
+        assert any(sim_step > 0 for sim_step in buffers)
+
+    def test_sleep_when_buffer_full(self, flat_trace):
+        video = synthetic_video("standard", num_chunks=40, seed=0)
+        config = SimulatorConfig(max_buffer_s=12.0)
+        sim = ChunkLevelSimulator(video, flat_trace, config=config)
+        sleeps = [sim.step(0).sleep_s for _ in range(30)]
+        assert any(s > 0 for s in sleeps)
+
+    def test_completion_and_reset(self, small_video, flat_trace):
+        sim = ChunkLevelSimulator(small_video, flat_trace)
+        for _ in range(small_video.num_chunks):
+            sim.step(0)
+        assert sim.finished
+        with pytest.raises(RuntimeError):
+            sim.step(0)
+        sim.reset()
+        assert not sim.finished
+        assert sim.remaining_chunks == small_video.num_chunks
+
+    def test_invalid_bitrate_index(self, small_video, flat_trace):
+        sim = ChunkLevelSimulator(small_video, flat_trace)
+        with pytest.raises(IndexError):
+            sim.step(99)
+
+    def test_measured_throughput_close_to_link_rate(self, small_video, flat_trace):
+        config = SimulatorConfig(link_rtt_s=0.0, payload_fraction=1.0)
+        sim = ChunkLevelSimulator(small_video, flat_trace, config=config)
+        result = sim.step(3)
+        assert result.throughput_mbps == pytest.approx(3.0, rel=1e-3)
+
+    def test_bandwidth_noise_changes_results(self, small_video, flat_trace):
+        noisy = SimulatorConfig(bandwidth_noise_std=0.3)
+        sim_a = ChunkLevelSimulator(small_video, flat_trace, config=noisy,
+                                    rng=np.random.default_rng(1))
+        sim_b = ChunkLevelSimulator(small_video, flat_trace, config=noisy,
+                                    rng=np.random.default_rng(2))
+        a = [sim_a.step(2).download_time_s for _ in range(5)]
+        b = [sim_b.step(2).download_time_s for _ in range(5)]
+        assert a != b
+
+    def test_start_offset_changes_trace_position(self, small_video):
+        # A trace that is fast in the first half and slow in the second half.
+        timestamps = np.arange(0.0, 200.0, 1.0)
+        throughputs = np.where(timestamps < 100.0, 10.0, 0.5)
+        trace = Trace(timestamps, throughputs, name="two-phase")
+        fast = ChunkLevelSimulator(small_video, trace)
+        slow = ChunkLevelSimulator(small_video, trace)
+        slow.reset(start_offset_s=100.0)
+        assert slow.step(3).download_time_s > fast.step(3).download_time_s
+
+
+class TestStreamingSession:
+    def test_observation_shapes_and_padding(self, small_video, flat_trace):
+        session = StreamingSession(small_video, flat_trace)
+        obs = session.observe()
+        assert obs.throughput_mbps_history.shape == (HISTORY_LENGTH,)
+        assert np.all(obs.throughput_mbps_history == 0.0)
+        assert obs.remaining_chunks == small_video.num_chunks
+        assert obs.total_chunks == small_video.num_chunks
+        assert obs.next_chunk_sizes_bytes.shape == (small_video.num_bitrates,)
+
+    def test_history_rolls_oldest_first(self, small_video, flat_trace):
+        session = StreamingSession(small_video, flat_trace)
+        for index in range(3):
+            session.step(index)
+        obs = session.observe()
+        # The last three entries are the kbps of actions 0, 1, 2 in order.
+        expected = [small_video.bitrates_kbps[i] for i in range(3)]
+        np.testing.assert_allclose(obs.bitrate_kbps_history[-3:], expected)
+        assert obs.last_bitrate_index == 2
+
+    def test_rewards_match_qoe(self, small_video, flat_trace):
+        qoe = LinearQoE(small_video.bitrates_kbps)
+        session = StreamingSession(small_video, flat_trace, qoe=qoe)
+        record, _ = session.step(2)
+        # The first chunk's wait is startup delay, not rebuffering, for QoE.
+        assert record.reward == pytest.approx(qoe.chunk_reward(2, 0.0, None))
+        record2, _ = session.step(4)
+        assert record2.reward == pytest.approx(
+            qoe.chunk_reward(4, record2.rebuffer_s, 2))
+
+    def test_startup_rebuffering_can_be_charged(self, small_video, flat_trace):
+        qoe = LinearQoE(small_video.bitrates_kbps)
+        session = StreamingSession(small_video, flat_trace, qoe=qoe,
+                                   charge_startup_rebuffering=True)
+        record, _ = session.step(2)
+        assert record.rebuffer_s > 0.0
+        assert record.reward == pytest.approx(
+            qoe.chunk_reward(2, record.rebuffer_s, None))
+
+    def test_session_runs_to_completion(self, small_video, flat_trace):
+        session = StreamingSession(small_video, flat_trace)
+        steps = 0
+        while not session.done:
+            session.observe()
+            session.step(1)
+            steps += 1
+        assert steps == small_video.num_chunks
+        with pytest.raises(RuntimeError):
+            session.observe()
+
+    def test_observation_copy_is_independent(self, sample_observation):
+        copy = sample_observation.copy()
+        copy.throughput_mbps_history[:] = -1
+        assert not np.array_equal(copy.throughput_mbps_history,
+                                  sample_observation.throughput_mbps_history)
+
+
+class TestRunSession:
+    def test_run_session_with_fixed_policy(self, small_video, flat_trace):
+        result = run_session(FixedBitratePolicy(2), small_video, flat_trace)
+        assert result.num_chunks == small_video.num_chunks
+        assert result.mean_bitrate_kbps == pytest.approx(
+            small_video.bitrates_kbps[2])
+        assert result.bitrate_switches == 0
+
+    def test_session_result_aggregates(self, small_video, slow_trace):
+        result = run_session(FixedBitratePolicy(5), small_video, slow_trace)
+        assert result.total_rebuffer_s > 0
+        assert result.total_reward == pytest.approx(
+            sum(r.reward for r in result.records))
+        assert result.mean_reward == pytest.approx(
+            result.total_reward / result.num_chunks)
+
+    def test_higher_bitrate_on_fast_link_scores_better(self, small_video, flat_trace):
+        low = run_session(FixedBitratePolicy(0), small_video, flat_trace)
+        # 1200 kbps still fits comfortably in 3 Mbps.
+        mid = run_session(FixedBitratePolicy(2), small_video, flat_trace)
+        assert mid.mean_reward > low.mean_reward
+
+    def test_highest_bitrate_on_slow_link_scores_worse(self, small_video, slow_trace):
+        low = run_session(FixedBitratePolicy(0), small_video, slow_trace)
+        high = run_session(FixedBitratePolicy(5), small_video, slow_trace)
+        assert low.mean_reward > high.mean_reward

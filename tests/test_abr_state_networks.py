@@ -1,0 +1,188 @@
+"""Tests for the original state representation and actor-critic architectures."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.abr import (
+    GenericActorCritic,
+    HISTORY_LENGTH,
+    ORIGINAL_NETWORK_SOURCE,
+    ORIGINAL_STATE_SOURCE,
+    PensieveNetwork,
+    StateFunction,
+    original_network_builder,
+    original_state_function,
+)
+
+
+class TestOriginalState:
+    def test_shape_is_6_by_history(self, sample_observation):
+        state = StateFunction.original()(sample_observation)
+        assert state.shape == (6, HISTORY_LENGTH)
+
+    def test_rows_are_normalized(self, sample_observation):
+        state = StateFunction.original()(sample_observation)
+        assert np.abs(state).max() < 100.0
+
+    def test_bitrate_row_normalized_by_top_bitrate(self, sample_observation):
+        state = original_state_function(
+            sample_observation.bitrate_kbps_history,
+            sample_observation.throughput_mbps_history,
+            sample_observation.download_time_s_history,
+            sample_observation.buffer_s_history,
+            sample_observation.next_chunk_sizes_bytes,
+            sample_observation.remaining_chunks,
+            sample_observation.total_chunks,
+            sample_observation.bitrate_ladder_kbps,
+        )
+        expected = (sample_observation.bitrate_kbps_history
+                    / sample_observation.bitrate_ladder_kbps[-1])
+        np.testing.assert_allclose(state[0], expected)
+
+    def test_remaining_chunks_row_constant(self, sample_observation):
+        state = StateFunction.original()(sample_observation)
+        assert np.all(state[5] == state[5][0])
+        assert 0.0 <= state[5][0] <= 1.0
+
+    def test_next_sizes_in_megabytes(self, sample_observation):
+        state = StateFunction.original()(sample_observation)
+        sizes_mb = sample_observation.next_chunk_sizes_bytes / 1e6
+        np.testing.assert_allclose(state[4, :len(sizes_mb)], sizes_mb)
+
+    def test_source_string_is_executable(self):
+        namespace = {}
+        exec(ORIGINAL_STATE_SOURCE, namespace)  # noqa: S102 - test fixture
+        assert callable(namespace["state_func"])
+
+
+class TestStateFunctionWrapper:
+    def test_rejects_empty_output(self, sample_observation):
+        wrapper = StateFunction(lambda *args: np.array([]), name="empty")
+        with pytest.raises(ValueError):
+            wrapper(sample_observation)
+
+    def test_rejects_3d_output(self, sample_observation):
+        wrapper = StateFunction(lambda *args: np.zeros((2, 2, 2)), name="3d")
+        with pytest.raises(ValueError):
+            wrapper(sample_observation)
+
+    def test_rejects_non_finite(self, sample_observation):
+        wrapper = StateFunction(lambda *args: np.array([np.nan]), name="nan")
+        with pytest.raises(ValueError):
+            wrapper(sample_observation)
+
+    def test_rejects_shape_change(self, sample_observation):
+        calls = {"n": 0}
+
+        def flaky(*args):
+            calls["n"] += 1
+            return np.zeros(3) if calls["n"] == 1 else np.zeros(4)
+
+        wrapper = StateFunction(flaky, name="flaky")
+        wrapper(sample_observation)
+        with pytest.raises(ValueError):
+            wrapper(sample_observation)
+
+    def test_probe_and_reset_shape(self, sample_observation):
+        wrapper = StateFunction.original()
+        assert wrapper.shape is None
+        shape = wrapper.probe_shape(sample_observation)
+        assert shape == (6, HISTORY_LENGTH)
+        assert wrapper.shape == shape
+        wrapper.reset_shape()
+        assert wrapper.shape is None
+
+    def test_requires_callable(self):
+        with pytest.raises(TypeError):
+            StateFunction("not callable")
+
+
+class TestPensieveNetwork:
+    def test_forward_shapes(self):
+        net = PensieveNetwork((6, 8), 6, rng=np.random.default_rng(0))
+        states = nn.tensor(np.random.default_rng(0).normal(size=(3, 6, 8)))
+        logits, value = net.forward(states)
+        assert logits.shape == (3, 6)
+        assert value.shape == (3,)
+
+    def test_policy_sums_to_one(self):
+        net = PensieveNetwork((6, 8), 6, rng=np.random.default_rng(0))
+        states = nn.tensor(np.random.default_rng(1).normal(size=(4, 6, 8)))
+        probs = net.policy(states).numpy()
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(4), atol=1e-10)
+
+    def test_single_state_without_batch_dim(self):
+        net = PensieveNetwork((6, 8), 6, rng=np.random.default_rng(0))
+        logits, value = net.forward(nn.tensor(np.zeros((6, 8))))
+        assert logits.shape == (1, 6)
+        assert value.shape == (1,)
+
+    def test_flat_state_supported(self):
+        net = PensieveNetwork((10,), 4, rng=np.random.default_rng(0))
+        logits, value = net.forward(nn.tensor(np.zeros((2, 10))))
+        assert logits.shape == (2, 4)
+
+    def test_short_history_uses_scalar_branches(self):
+        net = PensieveNetwork((5, 2), 4, rng=np.random.default_rng(0))
+        assert net.temporal_rows == ()
+        logits, _ = net.forward(nn.tensor(np.zeros((1, 5, 2))))
+        assert logits.shape == (1, 4)
+
+    def test_gradients_reach_all_parameters(self):
+        net = PensieveNetwork((6, 8), 6, rng=np.random.default_rng(0))
+        states = nn.tensor(np.random.default_rng(2).normal(size=(2, 6, 8)))
+        logits, value = net.forward(states)
+        (logits.sum() + value.sum()).backward()
+        with_grad = sum(1 for p in net.parameters() if p.grad is not None)
+        assert with_grad == len(net.parameters())
+
+
+class TestGenericActorCritic:
+    @pytest.mark.parametrize("encoder", ["flatten", "conv", "rnn", "gru", "lstm"])
+    def test_encoders_forward(self, encoder):
+        net = GenericActorCritic((4, 8), 6, encoder=encoder,
+                                 rng=np.random.default_rng(0))
+        logits, value = net.forward(nn.tensor(np.random.default_rng(0).normal(size=(3, 4, 8))))
+        assert logits.shape == (3, 6)
+        assert value.shape == (3,)
+
+    def test_flat_state_forces_flatten_encoder(self):
+        net = GenericActorCritic((9,), 4, encoder="lstm",
+                                 rng=np.random.default_rng(0))
+        assert net.encoder_kind == "flatten"
+        logits, _ = net.forward(nn.tensor(np.zeros((2, 9))))
+        assert logits.shape == (2, 4)
+
+    def test_shared_trunk_reduces_parameters(self):
+        shared = GenericActorCritic((6, 8), 6, share_trunk=True,
+                                    rng=np.random.default_rng(0))
+        separate = GenericActorCritic((6, 8), 6, share_trunk=False,
+                                      rng=np.random.default_rng(0))
+        assert shared.num_parameters() < separate.num_parameters()
+
+    def test_unknown_encoder_raises(self):
+        with pytest.raises(ValueError):
+            GenericActorCritic((6, 8), 6, encoder="transformer")
+
+    def test_unbatched_input(self):
+        net = GenericActorCritic((3, 8), 5, rng=np.random.default_rng(0))
+        logits, value = net.forward(nn.tensor(np.zeros((3, 8))))
+        assert logits.shape == (1, 5)
+
+
+class TestOriginalNetworkBuilder:
+    def test_canonical_shape_builds_pensieve_architecture(self):
+        net = original_network_builder((6, 8), 6, rng=np.random.default_rng(0))
+        assert isinstance(net, PensieveNetwork)
+
+    def test_other_2d_shapes_still_pensieve_style(self):
+        net = original_network_builder((9, 8), 6, rng=np.random.default_rng(0))
+        assert isinstance(net, PensieveNetwork)
+
+    def test_flat_shape_falls_back_to_generic(self):
+        net = original_network_builder((15,), 6, rng=np.random.default_rng(0))
+        assert isinstance(net, GenericActorCritic)
+
+    def test_original_network_source_is_nonempty(self):
+        assert "build_network" in ORIGINAL_NETWORK_SOURCE

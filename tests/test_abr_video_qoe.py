@@ -1,0 +1,161 @@
+"""Tests for the video model and the QoE metrics."""
+
+import numpy as np
+import pytest
+
+from repro.abr import (
+    CHUNK_DURATION_S,
+    HDQoE,
+    HIGH_LADDER_KBPS,
+    LinearQoE,
+    LogQoE,
+    STANDARD_LADDER_KBPS,
+    Video,
+    make_qoe,
+    synthetic_video,
+)
+
+
+class TestVideo:
+    def test_ladders_match_paper(self):
+        assert STANDARD_LADDER_KBPS == (300, 750, 1200, 1850, 2850, 4300)
+        assert HIGH_LADDER_KBPS == (1850, 2850, 4300, 12000, 24000, 53000)
+
+    def test_synthetic_video_shapes(self, small_video):
+        assert small_video.num_chunks == 12
+        assert small_video.num_bitrates == 6
+        assert small_video.chunk_sizes_bytes.shape == (12, 6)
+        assert small_video.duration_s == pytest.approx(12 * CHUNK_DURATION_S)
+
+    def test_chunk_sizes_scale_with_bitrate(self, small_video):
+        sizes = small_video.chunk_sizes_bytes
+        # Within every chunk the higher rendition must be larger on average.
+        mean_per_bitrate = sizes.mean(axis=0)
+        assert np.all(np.diff(mean_per_bitrate) > 0)
+
+    def test_chunk_sizes_near_nominal(self):
+        video = synthetic_video("standard", num_chunks=200, vbr_sigma=0.1, seed=0)
+        nominal = np.asarray(STANDARD_LADDER_KBPS) * 1000 * CHUNK_DURATION_S / 8.0
+        measured = video.chunk_sizes_bytes.mean(axis=0)
+        np.testing.assert_allclose(measured, nominal, rtol=0.15)
+
+    def test_deterministic_by_seed(self):
+        a = synthetic_video("standard", seed=5)
+        b = synthetic_video("standard", seed=5)
+        np.testing.assert_array_equal(a.chunk_sizes_bytes, b.chunk_sizes_bytes)
+
+    def test_custom_ladder(self):
+        video = synthetic_video([100, 200, 400], num_chunks=4, seed=0)
+        assert video.bitrates_kbps == (100, 200, 400)
+
+    def test_unknown_ladder_name(self):
+        with pytest.raises(KeyError):
+            synthetic_video("ultra")
+
+    def test_chunk_size_accessors(self, small_video):
+        size = small_video.chunk_size(0, 0)
+        assert size > 0
+        sizes = small_video.next_chunk_sizes(3)
+        assert sizes.shape == (6,)
+        with pytest.raises(IndexError):
+            small_video.chunk_size(100, 0)
+        with pytest.raises(IndexError):
+            small_video.chunk_size(0, 100)
+        with pytest.raises(IndexError):
+            small_video.next_chunk_sizes(-1)
+
+    def test_video_validation(self):
+        with pytest.raises(ValueError):
+            Video([300, 200], np.ones((4, 2)))  # descending ladder
+        with pytest.raises(ValueError):
+            Video([300, 750], np.ones((4, 3)))  # mismatched columns
+        with pytest.raises(ValueError):
+            Video([300, 750], np.zeros((4, 2)))  # non-positive sizes
+        with pytest.raises(ValueError):
+            Video([300, 750], np.ones(4))  # not 2-D
+        with pytest.raises(ValueError):
+            Video([300, 750], np.ones((4, 2)), chunk_duration_s=0.0)
+        with pytest.raises(ValueError):
+            synthetic_video("standard", num_chunks=0)
+
+    def test_bitrates_mbps(self, small_video):
+        np.testing.assert_allclose(small_video.bitrates_mbps,
+                                   np.array(STANDARD_LADDER_KBPS) / 1000.0)
+
+
+class TestLinearQoE:
+    def test_reward_equals_bitrate_when_clean(self):
+        qoe = LinearQoE(STANDARD_LADDER_KBPS)
+        assert qoe.chunk_reward(2, 0.0, 2) == pytest.approx(1.2)
+
+    def test_first_chunk_has_no_smoothness_penalty(self):
+        qoe = LinearQoE(STANDARD_LADDER_KBPS)
+        assert qoe.chunk_reward(5, 0.0, None) == pytest.approx(4.3)
+
+    def test_rebuffer_penalty_defaults_to_top_bitrate(self):
+        qoe = LinearQoE(STANDARD_LADDER_KBPS)
+        assert qoe.rebuffer_penalty == pytest.approx(4.3)
+        reward = qoe.chunk_reward(0, 1.0, 0)
+        assert reward == pytest.approx(0.3 - 4.3)
+
+    def test_smoothness_penalty(self):
+        qoe = LinearQoE(STANDARD_LADDER_KBPS)
+        reward = qoe.chunk_reward(5, 0.0, 0)
+        assert reward == pytest.approx(4.3 - abs(4.3 - 0.3))
+
+    def test_high_ladder_penalty_scale(self):
+        qoe = LinearQoE(HIGH_LADDER_KBPS)
+        assert qoe.rebuffer_penalty == pytest.approx(53.0)
+
+    def test_session_reward_mean(self):
+        qoe = LinearQoE(STANDARD_LADDER_KBPS)
+        score = qoe.session_reward([0, 0, 0], [0.0, 0.0, 0.0])
+        assert score == pytest.approx(0.3)
+
+    def test_session_reward_validation(self):
+        qoe = LinearQoE(STANDARD_LADDER_KBPS)
+        with pytest.raises(ValueError):
+            qoe.session_reward([0, 1], [0.0])
+        assert qoe.session_reward([], []) == 0.0
+
+    def test_invalid_inputs(self):
+        qoe = LinearQoE(STANDARD_LADDER_KBPS)
+        with pytest.raises(IndexError):
+            qoe.chunk_reward(10, 0.0, None)
+        with pytest.raises(ValueError):
+            qoe.chunk_reward(0, -1.0, None)
+        with pytest.raises(ValueError):
+            LinearQoE([])
+
+    def test_detail_breakdown_sums(self):
+        qoe = LinearQoE(STANDARD_LADDER_KBPS)
+        detail = qoe.chunk_reward_detail(3, 0.5, 1)
+        assert detail.total == pytest.approx(
+            detail.quality - detail.rebuffer_penalty - detail.smoothness_penalty)
+
+
+class TestOtherQoE:
+    def test_log_qoe_zero_at_lowest(self):
+        qoe = LogQoE(STANDARD_LADDER_KBPS)
+        assert qoe.quality(0) == pytest.approx(0.0)
+        assert qoe.quality(5) == pytest.approx(np.log(4300 / 300))
+
+    def test_hd_qoe_monotone(self):
+        qoe = HDQoE(STANDARD_LADDER_KBPS)
+        scores = [qoe.quality(i) for i in range(6)]
+        assert scores == sorted(scores)
+        assert qoe.rebuffer_penalty == pytest.approx(scores[-1])
+
+    def test_make_qoe_registry(self):
+        assert isinstance(make_qoe("lin", STANDARD_LADDER_KBPS), LinearQoE)
+        assert isinstance(make_qoe("log", STANDARD_LADDER_KBPS), LogQoE)
+        assert isinstance(make_qoe("hd", STANDARD_LADDER_KBPS), HDQoE)
+        with pytest.raises(KeyError):
+            make_qoe("vmaf", STANDARD_LADDER_KBPS)
+
+    def test_custom_penalties(self):
+        qoe = LinearQoE(STANDARD_LADDER_KBPS, rebuffer_penalty=10.0,
+                        smoothness_penalty=2.0)
+        assert qoe.rebuffer_penalty == 10.0
+        reward = qoe.chunk_reward(1, 0.0, 0)
+        assert reward == pytest.approx(0.75 - 2.0 * (0.75 - 0.3))

@@ -1,0 +1,165 @@
+"""Tests for the analysis utilities (metrics, tables, curves, experiment drivers)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    CurveComparison,
+    ExperimentScale,
+    TrainingCurve,
+    build_design_corpus,
+    build_environment,
+    cumulative_best,
+    format_improvement,
+    format_score,
+    improvement_percent,
+    median_of_seeds,
+    moving_average,
+    render_ascii_curves,
+    render_table,
+    run_component_experiment,
+    smoothed_score,
+)
+
+
+class TestMetrics:
+    def test_smoothed_score_last_k(self):
+        assert smoothed_score([1.0, 2.0, 3.0, 4.0], last_k=2) == pytest.approx(3.5)
+        assert smoothed_score([], last_k=2) == float("-inf")
+        with pytest.raises(ValueError):
+            smoothed_score([1.0], last_k=0)
+
+    def test_median_of_seeds_ignores_non_finite(self):
+        assert median_of_seeds([1.0, float("-inf"), 3.0]) == pytest.approx(2.0)
+        assert median_of_seeds([float("-inf")]) == float("-inf")
+
+    def test_improvement_percent_matches_paper_convention(self):
+        # FCC row of Table 3: 1.070 -> 1.090 is +1.9%.
+        assert improvement_percent(1.070, 1.090) == pytest.approx(1.87, abs=0.05)
+        # Starlink emulation row has a negative original score.
+        assert improvement_percent(-0.0482, 0.0899) == pytest.approx(286.5, abs=1.0)
+
+    def test_improvement_percent_edge_cases(self):
+        assert improvement_percent(0.0, 1.0) is None
+        assert improvement_percent(float("nan"), 1.0) is None
+
+    def test_moving_average(self):
+        np.testing.assert_allclose(moving_average([1, 2, 3, 4], 2),
+                                    [1.0, 1.5, 2.5, 3.5])
+        with pytest.raises(ValueError):
+            moving_average([1.0], 0)
+
+    def test_cumulative_best(self):
+        np.testing.assert_allclose(cumulative_best([1, 3, 2, 5]), [1, 3, 3, 5])
+        assert cumulative_best([]).size == 0
+
+
+class TestTables:
+    def test_render_table_alignment(self):
+        table = render_table(["Dataset", "Score"], [["FCC", 1.07], ["5G", 27.8]],
+                             title="Table 3")
+        lines = table.splitlines()
+        assert lines[0] == "Table 3"
+        assert "Dataset" in lines[1]
+        assert any("FCC" in line for line in lines)
+
+    def test_render_table_markdown(self):
+        table = render_table(["A"], [["x"]], markdown=True)
+        assert table.splitlines()[1].startswith("| -")
+
+    def test_render_table_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["A", "B"], [["only one"]])
+
+    def test_format_helpers(self):
+        assert format_score(1.23456) == "1.235"
+        assert format_score(None) == "-"
+        assert format_score(float("nan")) == "-"
+        assert format_improvement(13.04) == "13.0%"
+        assert format_improvement(None) == "–"
+
+
+class TestCurves:
+    def test_training_curve_add_and_final(self):
+        curve = TrainingCurve("Original")
+        curve.add(10, 0.5)
+        curve.add(20, 0.7)
+        assert curve.final_score == 0.7
+        with pytest.raises(ValueError):
+            curve.add(15, 0.9)  # epochs must increase
+
+    def test_curve_validation(self):
+        with pytest.raises(ValueError):
+            TrainingCurve("x", epochs=[1], scores=[])
+
+    def test_smoothed_curve(self):
+        curve = TrainingCurve("x", epochs=[1, 2, 3], scores=[0.0, 1.0, 2.0])
+        smoothed = curve.smoothed(window=2)
+        np.testing.assert_allclose(smoothed.scores, [0.0, 0.5, 1.5])
+
+    def test_comparison_winner_and_lookup(self):
+        comparison = CurveComparison("panel")
+        comparison.add_curve(TrainingCurve("Original", [1, 2], [0.1, 0.2]))
+        comparison.add_curve(TrainingCurve("Best Generated", [1, 2], [0.15, 0.3]))
+        assert comparison.winner() == "Best Generated"
+        assert comparison.curve("Original").final_score == 0.2
+        assert comparison.final_scores()["Best Generated"] == 0.3
+        with pytest.raises(KeyError):
+            comparison.curve("missing")
+
+    def test_empty_comparison_winner_raises(self):
+        with pytest.raises(ValueError):
+            CurveComparison("empty").winner()
+
+    def test_render_ascii_curves(self):
+        comparison = CurveComparison("panel")
+        comparison.add_curve(TrainingCurve("Original", [1, 2, 3], [0.1, 0.2, 0.3]))
+        art = render_ascii_curves(comparison, width=20, height=5)
+        assert "panel" in art
+        assert "o=Original" in art
+
+    def test_render_ascii_empty(self):
+        assert "no data" in render_ascii_curves(CurveComparison("empty"))
+
+
+class TestExperimentDrivers:
+    TINY = ExperimentScale(dataset_scale=0.02, num_chunks=8, train_epochs=8,
+                           checkpoint_interval=4, last_k_checkpoints=2,
+                           num_seeds=1, num_designs=4, max_trained_designs=2,
+                           seed=0)
+
+    def test_build_environment(self):
+        setup = build_environment("4g", self.TINY)
+        assert setup.video.bitrates_kbps[-1] == 53000  # high ladder for 4G
+        assert len(setup.train_traces) >= 1
+        assert len(setup.test_traces) >= 1
+
+    def test_experiment_scale_evaluation_config(self):
+        config = self.TINY.evaluation_config()
+        assert config.train_epochs == 8
+        assert config.num_seeds == 1
+
+    def test_run_component_experiment_state(self):
+        result = run_component_experiment("fcc", "state", "gpt-4", self.TINY)
+        assert result.environment == "fcc"
+        assert np.isfinite(result.original_score)
+        assert result.filter_report.total == self.TINY.num_designs
+        assert len(result.comparison.curves) >= 1
+        assert result.comparison.curves[0].label == "Original"
+        if result.best_score is not None:
+            assert result.improvement_percent is not None
+
+    def test_run_component_experiment_network(self):
+        result = run_component_experiment("fcc", "network", "gpt-3.5", self.TINY)
+        assert result.kind == "network"
+        # Every evaluated design must have a recorded score.
+        for design_id, score in result.evaluated_scores.items():
+            assert np.isfinite(score) or score == float("-inf")
+
+    def test_build_design_corpus(self):
+        samples = build_design_corpus("fcc", "gpt-4", num_designs=5, scale=self.TINY)
+        assert len(samples) >= 1
+        for sample in samples:
+            assert len(sample.reward_prefix) == self.TINY.train_epochs
+            assert isinstance(sample.code, str) and sample.code
+            assert np.isfinite(sample.final_score)

@@ -1,0 +1,57 @@
+"""Tests for the command-line interface."""
+
+import os
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.environment == "fcc"
+        assert args.target == "state"
+        assert args.llm == "gpt-4"
+
+    def test_invalid_environment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--environment", "6g"])
+
+    def test_traces_requires_output(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["traces"])
+
+
+class TestCommands:
+    def test_traces_command_writes_files(self, tmp_path, capsys):
+        exit_code = main(["traces", "--environment", "starlink",
+                          "--scale", "0.2", "--output", str(tmp_path / "out")])
+        assert exit_code == 0
+        train_files = os.listdir(tmp_path / "out" / "train")
+        test_files = os.listdir(tmp_path / "out" / "test")
+        assert train_files and test_files
+        captured = capsys.readouterr().out
+        assert "mean throughput" in captured
+
+    def test_baselines_command_prints_table(self, capsys):
+        exit_code = main(["baselines", "--environment", "fcc",
+                          "--dataset-scale", "0.01", "--num-chunks", "6",
+                          "--policies", "bba", "rate_based"])
+        assert exit_code == 0
+        captured = capsys.readouterr().out
+        assert "bba" in captured and "rate_based" in captured
+
+    def test_run_command_tiny_campaign(self, capsys):
+        exit_code = main(["run", "--environment", "fcc", "--num-designs", "3",
+                          "--train-epochs", "6", "--checkpoint-interval", "3",
+                          "--num-seeds", "1", "--num-chunks", "6",
+                          "--dataset-scale", "0.02", "--no-early-stopping",
+                          "--show-code"])
+        assert exit_code == 0
+        captured = capsys.readouterr().out
+        assert "original score" in captured

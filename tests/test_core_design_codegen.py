@@ -1,0 +1,196 @@
+"""Tests for candidate designs, the pool, the code sandbox and prompts."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CandidatePool,
+    CodeBlockError,
+    Design,
+    DesignKind,
+    DesignStatus,
+    PARAMETER_DESCRIPTIONS,
+    PromptConfig,
+    build_network_prompt,
+    build_state_prompt,
+    compile_code_block,
+    load_network_builder,
+    load_state_function,
+    system_message,
+)
+from repro.abr import ORIGINAL_STATE_SOURCE, STATE_FUNCTION_PARAMETERS
+from repro.core.filters import random_observation
+
+
+class TestDesign:
+    def test_design_id_generated_and_unique(self):
+        a = Design(kind="state", code="x = 1")
+        b = Design(kind="state", code="x = 1")
+        assert a.design_id != b.design_id
+        assert a.design_id.startswith("state-")
+
+    def test_empty_code_rejected(self):
+        with pytest.raises(ValueError):
+            Design(kind="state", code="   ")
+
+    def test_kind_and_status_coercion(self):
+        design = Design(kind="network", code="y = 2")
+        assert design.kind is DesignKind.NETWORK
+        assert design.status is DesignStatus.GENERATED
+
+    def test_mark_rejected_and_flags(self):
+        design = Design(kind="state", code="x = 1")
+        design.mark_rejected(DesignStatus.REJECTED_COMPILATION, "syntax error")
+        assert design.is_rejected
+        assert not design.passed_prechecks
+        assert design.rejection_reason == "syntax error"
+        with pytest.raises(ValueError):
+            design.mark_rejected(DesignStatus.EVALUATED, "not a rejection")
+
+    def test_record_training_and_finalize(self):
+        design = Design(kind="state", code="x = 1")
+        design.record_training([1.0, 2.0], [0.5, 0.6])
+        design.finalize(0.75)
+        assert design.reward_history == [1.0, 2.0]
+        assert design.checkpoint_scores == [0.5, 0.6]
+        assert design.test_score == 0.75
+        assert design.status is DesignStatus.EVALUATED
+        assert "0.750" in design.summary()
+
+
+class TestCandidatePool:
+    def _pool(self):
+        designs = [Design(kind="state", code=f"x = {i}") for i in range(4)]
+        designs += [Design(kind="network", code=f"y = {i}") for i in range(2)]
+        return CandidatePool(designs), designs
+
+    def test_add_get_contains(self):
+        pool, designs = self._pool()
+        assert len(pool) == 6
+        assert designs[0].design_id in pool
+        assert pool.get(designs[0].design_id) is designs[0]
+        with pytest.raises(KeyError):
+            pool.get("missing")
+        with pytest.raises(ValueError):
+            pool.add(designs[0])
+
+    def test_of_kind_and_status_queries(self):
+        pool, designs = self._pool()
+        assert len(pool.of_kind(DesignKind.STATE)) == 4
+        assert len(pool.of_kind("network")) == 2
+        designs[0].mark_rejected(DesignStatus.REJECTED_COMPILATION, "boom")
+        assert len(pool.with_status(DesignStatus.REJECTED_COMPILATION)) == 1
+
+    def test_top_k_and_best(self):
+        pool, designs = self._pool()
+        for i, design in enumerate(designs[:4]):
+            design.status = DesignStatus.PENDING_EVALUATION
+            design.finalize(float(i))
+        top2 = pool.top_k(2, kind=DesignKind.STATE)
+        assert [d.test_score for d in top2] == [3.0, 2.0]
+        assert pool.best().test_score == 3.0
+        assert pool.best(kind=DesignKind.NETWORK) is None
+
+    def test_statistics_counts(self):
+        pool, designs = self._pool()
+        designs[0].mark_rejected(DesignStatus.REJECTED_COMPILATION, "x")
+        designs[1].status = DesignStatus.PENDING_EVALUATION
+        stats = pool.statistics()
+        assert stats["total"] == 6
+        assert stats["rejected_compilation"] == 1
+        assert stats["pending_evaluation"] == 1
+        assert stats["passed_prechecks"] == 1
+
+
+class TestCodegenSandbox:
+    def test_compile_original_state_source(self):
+        func = load_state_function(ORIGINAL_STATE_SOURCE)
+        state = func(random_observation(np.random.default_rng(0)))
+        assert state.shape[0] == 6
+
+    def test_missing_definition_rejected(self):
+        with pytest.raises(CodeBlockError):
+            load_state_function("import numpy as np\nx = 1")
+
+    def test_syntax_error_rejected(self):
+        with pytest.raises(CodeBlockError):
+            compile_code_block("def f(:\n    pass", "f")
+
+    def test_empty_code_rejected(self):
+        with pytest.raises(CodeBlockError):
+            compile_code_block("", "f")
+
+    def test_non_callable_definition_rejected(self):
+        with pytest.raises(CodeBlockError):
+            compile_code_block("state_func = 42", "state_func")
+
+    def test_disallowed_import_rejected(self):
+        code = "import os\n\ndef state_func(*args):\n    return os.listdir('.')"
+        with pytest.raises(CodeBlockError):
+            compile_code_block(code, "state_func")
+
+    def test_disallowed_import_inside_function_rejected_at_call(self):
+        code = ("def state_func(*args):\n"
+                "    import subprocess\n"
+                "    return subprocess.run(['ls'])\n")
+        func = compile_code_block(code, "state_func")
+        with pytest.raises(CodeBlockError):
+            func()
+
+    def test_scipy_import_allowed(self):
+        code = ("from scipy.signal import savgol_filter\n"
+                "import numpy as np\n\n"
+                "def state_func(*args):\n"
+                "    return savgol_filter(np.arange(9.0), 5, 1)\n")
+        func = compile_code_block(code, "state_func")
+        assert func().shape == (9,)
+
+    def test_execution_error_at_module_level_rejected(self):
+        with pytest.raises(CodeBlockError):
+            compile_code_block("raise RuntimeError('boom')\n\ndef f():\n    pass", "f")
+
+    def test_network_builder_namespace_provides_nn_library(self):
+        code = ("def build_network(state_shape, num_actions, rng=None):\n"
+                "    return nn_library.GenericActorCritic(state_shape, num_actions,\n"
+                "                                         hidden_sizes=(16,), rng=rng)\n")
+        builder = load_network_builder(code)
+        network = builder((6, 8), 6, rng=np.random.default_rng(0))
+        assert network.num_actions == 6
+
+
+class TestPrompts:
+    def test_state_prompt_contains_original_code_and_glossary(self):
+        messages = build_state_prompt()
+        assert messages[0].role == "system"
+        user = messages[1].content
+        assert "state_func" in user
+        for name in STATE_FUNCTION_PARAMETERS:
+            assert name in user
+        assert "normalized" in user.lower()
+
+    def test_network_prompt_mentions_build_network(self):
+        user = build_network_prompt()[1].content
+        assert "build_network" in user
+        assert "actor" in user.lower()
+
+    def test_prompt_config_switches(self):
+        minimal = PromptConfig(use_chain_of_thought=False,
+                               describe_parameters=False,
+                               request_normalization=False)
+        full = PromptConfig()
+        minimal_text = build_state_prompt(minimal)[1].content
+        full_text = build_state_prompt(full)[1].content
+        assert len(full_text) > len(minimal_text)
+        assert "at least three distinct ideas" not in minimal_text
+        assert "at least three distinct ideas" in full_text
+
+    def test_environment_hint_included(self):
+        config = PromptConfig(environment_hint="a LEO satellite network")
+        assert "LEO satellite" in build_state_prompt(config)[1].content
+        assert "LEO satellite" in build_network_prompt(config)[1].content
+
+    def test_parameter_descriptions_cover_contract(self):
+        assert set(PARAMETER_DESCRIPTIONS) == set(STATE_FUNCTION_PARAMETERS)
+
+    def test_system_message_is_system_role(self):
+        assert system_message().role == "system"

@@ -1,0 +1,220 @@
+"""Tests for the early-stopping classifier and the alternative predictors."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DesignSampleFeatures,
+    EarlyStoppingConfig,
+    HeuristicLastPredictor,
+    HeuristicMaxPredictor,
+    PREDICTOR_REGISTRY,
+    RewardOnlyPredictor,
+    RewardTrajectoryClassifier,
+    TextOnlyPredictor,
+    TextRewardPredictor,
+    classification_rates,
+    cross_validate_predictors,
+    evaluate_predictor,
+    make_predictor,
+    prepare_reward_prefix,
+    top_fraction_labels,
+    tune_threshold_zero_fnr,
+)
+
+
+def make_corpus(n=60, prefix_length=10, seed=0, signal_strength=1.0):
+    """Synthetic design corpus: early rewards are predictive of final scores.
+
+    Good designs ramp up quickly; bad designs stay flat or decline — mirroring
+    how training-reward trajectories separate promising ABR designs.
+    """
+    rng = np.random.default_rng(seed)
+    samples = []
+    for index in range(n):
+        quality = rng.uniform(0.0, 1.0)
+        slope = signal_strength * quality
+        noise = rng.normal(0, 0.2, size=prefix_length)
+        prefix = slope * np.linspace(0, 1, prefix_length) + noise
+        final = quality * 10.0 + rng.normal(0, 0.3)
+        code = f"def state_func():\n    return {quality:.3f}  # variant {index}"
+        samples.append(DesignSampleFeatures(reward_prefix=list(prefix), code=code,
+                                            final_score=float(final)))
+    return samples
+
+
+class TestHelpers:
+    def test_prepare_reward_prefix_pads_with_last_value(self):
+        np.testing.assert_allclose(prepare_reward_prefix([1.0, 2.0], 5),
+                                    [1.0, 2.0, 2.0, 2.0, 2.0])
+
+    def test_prepare_reward_prefix_truncates(self):
+        np.testing.assert_allclose(prepare_reward_prefix(range(10), 3), [0, 1, 2])
+
+    def test_prepare_reward_prefix_empty(self):
+        np.testing.assert_allclose(prepare_reward_prefix([], 4), np.zeros(4))
+
+    def test_top_fraction_labels_counts(self):
+        labels = top_fraction_labels(np.arange(100.0), 0.2)
+        assert labels.sum() == 20
+        assert labels[-1] == 1 and labels[0] == 0
+
+    def test_top_fraction_labels_at_least_one_positive(self):
+        labels = top_fraction_labels([1.0, 2.0, 3.0], 0.01)
+        assert labels.sum() == 1
+        assert labels[2] == 1
+
+    def test_top_fraction_labels_validation(self):
+        with pytest.raises(ValueError):
+            top_fraction_labels([1.0], 0.0)
+        assert top_fraction_labels([], 0.5).size == 0
+
+    def test_tune_threshold_keeps_all_positives(self):
+        scores = np.array([0.9, 0.8, 0.1, 0.2, 0.85])
+        labels = np.array([1, 1, 0, 0, 0])
+        threshold = tune_threshold_zero_fnr(scores, labels)
+        rates = classification_rates(scores, labels, threshold)
+        assert rates["false_negative_rate"] == 0.0
+        assert rates["true_negative_rate"] == pytest.approx(2.0 / 3.0)
+
+    def test_tune_threshold_no_positives(self):
+        assert tune_threshold_zero_fnr(np.array([0.5]), np.array([0])) == float("-inf")
+
+    def test_classification_rates_edge_cases(self):
+        rates = classification_rates(np.array([0.9, 0.1]), np.array([1, 0]), 0.5)
+        assert rates["false_negative_rate"] == 0.0
+        assert rates["true_negative_rate"] == 1.0
+        assert rates["num_positives"] == 1 and rates["num_negatives"] == 1
+
+
+class TestRewardTrajectoryClassifier:
+    def test_fit_predict_and_zero_train_fnr(self):
+        samples = make_corpus(n=50, seed=1)
+        config = EarlyStoppingConfig(reward_prefix_length=10, training_epochs=60,
+                                     top_fraction=0.1, smoothed_fraction=0.3, seed=0)
+        classifier = RewardTrajectoryClassifier(config)
+        prefixes = [s.reward_prefix for s in samples]
+        finals = [s.final_score for s in samples]
+        classifier.fit(prefixes, finals)
+
+        rates = classifier.evaluate(prefixes, finals)
+        assert rates["false_negative_rate"] == 0.0
+        assert rates["true_negative_rate"] > 0.3
+
+    def test_decision_interface(self):
+        samples = make_corpus(n=40, seed=2)
+        config = EarlyStoppingConfig(training_epochs=40, top_fraction=0.1,
+                                     smoothed_fraction=0.3)
+        classifier = RewardTrajectoryClassifier(config).fit(
+            [s.reward_prefix for s in samples], [s.final_score for s in samples])
+        strong = [2.0] * 10   # clearly climbing rewards
+        weak = [-2.0] * 10
+        decision = classifier.decide(strong)
+        assert 0.0 <= decision.score <= 1.0
+        # A hopeless trajectory is more likely to be stopped than a strong one.
+        assert classifier.predict_scores([weak])[0] <= \
+            classifier.predict_scores([strong])[0] + 1e-6
+        assert isinstance(classifier.should_stop(weak), bool)
+
+    def test_unfitted_classifier_raises(self):
+        classifier = RewardTrajectoryClassifier()
+        with pytest.raises(RuntimeError):
+            classifier.predict_scores([[1.0]])
+        with pytest.raises(RuntimeError):
+            classifier.should_stop([1.0])
+
+    def test_fit_validation(self):
+        classifier = RewardTrajectoryClassifier()
+        with pytest.raises(ValueError):
+            classifier.fit([[1.0]], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            classifier.fit([[1.0]] * 2, [1.0, 2.0])
+
+
+class TestPredictors:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return make_corpus(n=60, seed=3)
+
+    def _fast_kwargs(self, name):
+        if name == "reward_only":
+            return {"config": EarlyStoppingConfig(training_epochs=40,
+                                                  top_fraction=0.1,
+                                                  smoothed_fraction=0.3)}
+        if name in ("text_only", "text_reward"):
+            return {"epochs": 40, "top_fraction": 0.1, "smoothed_fraction": 0.3}
+        return {"top_fraction": 0.1}
+
+    @pytest.mark.parametrize("name", sorted(PREDICTOR_REGISTRY))
+    def test_every_predictor_fits_and_scores(self, corpus, name):
+        predictor = make_predictor(name, **self._fast_kwargs(name))
+        train, test = corpus[:40], corpus[40:]
+        rates = evaluate_predictor(predictor, train, test, top_fraction=0.1)
+        assert 0.0 <= rates["false_negative_rate"] <= 1.0
+        assert 0.0 <= rates["true_negative_rate"] <= 1.0
+        scores = predictor.predict_scores(test)
+        assert scores.shape == (len(test),)
+
+    def test_make_predictor_unknown(self):
+        with pytest.raises(KeyError):
+            make_predictor("oracle")
+
+    def test_heuristic_max_scores(self, corpus):
+        predictor = HeuristicMaxPredictor(top_fraction=0.1)
+        predictor.fit(corpus)
+        scores = predictor.predict_scores(corpus[:3])
+        expected = [max(prepare_reward_prefix(s.reward_prefix, 10))
+                    for s in corpus[:3]]
+        np.testing.assert_allclose(scores, expected)
+
+    def test_heuristic_last_scores(self, corpus):
+        predictor = HeuristicLastPredictor(top_fraction=0.1)
+        predictor.fit(corpus)
+        scores = predictor.predict_scores(corpus[:3])
+        expected = [prepare_reward_prefix(s.reward_prefix, 10)[-1]
+                    for s in corpus[:3]]
+        np.testing.assert_allclose(scores, expected)
+
+    def test_unfitted_predictors_raise(self):
+        with pytest.raises(RuntimeError):
+            TextOnlyPredictor().predict_scores(make_corpus(4))
+        with pytest.raises(RuntimeError):
+            _ = HeuristicMaxPredictor().threshold
+
+    def test_reward_only_outperforms_text_only_on_reward_driven_corpus(self, corpus):
+        """The paper's headline finding: reward features beat text features."""
+        kwargs_r = self._fast_kwargs("reward_only")
+        kwargs_t = self._fast_kwargs("text_only")
+        train, test = corpus[:40], corpus[40:]
+        reward_rates = evaluate_predictor(RewardOnlyPredictor(**kwargs_r),
+                                          train, test, top_fraction=0.1)
+        text_rates = evaluate_predictor(TextOnlyPredictor(**kwargs_t),
+                                        train, test, top_fraction=0.1)
+        reward_quality = reward_rates["true_negative_rate"] - reward_rates["false_negative_rate"]
+        text_quality = text_rates["true_negative_rate"] - text_rates["false_negative_rate"]
+        assert reward_quality >= text_quality - 0.05
+
+
+class TestCrossValidation:
+    def test_cross_validate_returns_all_predictors(self):
+        corpus = make_corpus(n=50, seed=4)
+        results = cross_validate_predictors(
+            corpus,
+            predictor_names=("reward_only", "heuristic_max", "heuristic_last"),
+            num_folds=2, train_fraction_per_fold=0.4, top_fraction=0.1, seed=0,
+            predictor_kwargs={
+                "reward_only": {"config": EarlyStoppingConfig(
+                    training_epochs=30, top_fraction=0.1, smoothed_fraction=0.3)},
+                "heuristic_max": {"top_fraction": 0.1},
+                "heuristic_last": {"top_fraction": 0.1},
+            })
+        assert [r.name for r in results] == ["reward_only", "heuristic_max",
+                                             "heuristic_last"]
+        for result in results:
+            assert 0.0 <= result.false_negative_rate <= 1.0
+            assert 0.0 <= result.true_negative_rate <= 1.0
+            assert len(result.fold_details) == 2
+
+    def test_cross_validate_requires_enough_samples(self):
+        with pytest.raises(ValueError):
+            cross_validate_predictors(make_corpus(5))

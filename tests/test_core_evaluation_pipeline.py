@@ -1,0 +1,212 @@
+"""Tests for design training/evaluation and the end-to-end Nada pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.abr import synthetic_video
+from repro.core import (
+    Design,
+    DesignKind,
+    DesignStatus,
+    DesignTrainer,
+    EarlyStoppingConfig,
+    EvaluationConfig,
+    NadaConfig,
+    NadaPipeline,
+    RewardTrajectoryClassifier,
+    TestScoreProtocol,
+    instantiate_agent,
+)
+from repro.llm import NetworkDesignSpace, NetworkDesignSpec, StateDesignSpace, StateDesignSpec
+from repro.rl import A2CConfig
+from repro.traces import TraceSet, generate_fcc_trace
+
+
+GOOD_STATE = StateDesignSpace().render(StateDesignSpec(extra_features=("buffer_diff",)))
+GOOD_NETWORK = NetworkDesignSpace().render(NetworkDesignSpec(hidden_size=32,
+                                                             encoder="flatten"))
+
+FAST_EVAL = EvaluationConfig(train_epochs=8, checkpoint_interval=4,
+                             last_k_checkpoints=2, num_seeds=2,
+                             a2c=A2CConfig(entropy_anneal_epochs=8))
+
+
+@pytest.fixture
+def tiny_env():
+    video = synthetic_video("standard", num_chunks=8, seed=0)
+    train = TraceSet([generate_fcc_trace(duration_s=120, seed=i) for i in range(2)],
+                     name="train")
+    test = TraceSet([generate_fcc_trace(duration_s=120, seed=50)], name="test")
+    return video, train, test
+
+
+class TestInstantiateAgent:
+    def test_original_pair(self, tiny_env):
+        video, train, _ = tiny_env
+        agent = instantiate_agent(None, None, video, train, seed=0)
+        assert agent.network.num_actions == video.num_bitrates
+
+    def test_generated_state_changes_input_shape(self, tiny_env):
+        video, train, _ = tiny_env
+        design = Design(kind="state", code=GOOD_STATE)
+        agent = instantiate_agent(design, None, video, train, seed=0)
+        assert agent.network.state_shape[0] == 7  # 6 base rows + buffer_diff
+
+    def test_generated_network_used(self, tiny_env):
+        video, train, _ = tiny_env
+        design = Design(kind="network", code=GOOD_NETWORK)
+        agent = instantiate_agent(None, design, video, train, seed=0)
+        from repro.abr import GenericActorCritic
+        assert isinstance(agent.network, GenericActorCritic)
+
+    def test_kind_mismatch_rejected(self, tiny_env):
+        video, train, _ = tiny_env
+        state_design = Design(kind="state", code=GOOD_STATE)
+        network_design = Design(kind="network", code=GOOD_NETWORK)
+        with pytest.raises(ValueError):
+            instantiate_agent(network_design, None, video, train)
+        with pytest.raises(ValueError):
+            instantiate_agent(None, state_design, video, train)
+
+
+class TestDesignTrainer:
+    def test_run_produces_checkpoints_and_rewards(self, tiny_env):
+        video, train, test = tiny_env
+        trainer = DesignTrainer(video, train, test, config=FAST_EVAL)
+        run = trainer.run(None, None, seed=0)
+        assert len(run.reward_history) == FAST_EVAL.train_epochs
+        assert run.checkpoint_epochs == [4, 8]
+        assert len(run.checkpoint_scores) == 2
+        assert not run.early_stopped
+        assert np.isfinite(run.final_score)
+        assert run.smoothed_score(1) == pytest.approx(run.checkpoint_scores[-1])
+
+    def test_run_is_seed_deterministic(self, tiny_env):
+        video, train, test = tiny_env
+        trainer = DesignTrainer(video, train, test, config=FAST_EVAL)
+        a = trainer.run(None, None, seed=3)
+        b = trainer.run(None, None, seed=3)
+        np.testing.assert_allclose(a.reward_history, b.reward_history)
+        np.testing.assert_allclose(a.checkpoint_scores, b.checkpoint_scores)
+
+    def test_early_stopping_truncates_training(self, tiny_env):
+        video, train, test = tiny_env
+
+        class AlwaysStop(RewardTrajectoryClassifier):
+            def __init__(self):
+                super().__init__(EarlyStoppingConfig(reward_prefix_length=3))
+                self.threshold = 0.5
+
+            def should_stop(self, reward_prefix):
+                return True
+
+        trainer = DesignTrainer(video, train, test, config=FAST_EVAL)
+        run = trainer.run(None, None, seed=0, early_stopping=AlwaysStop())
+        assert run.early_stopped
+        assert len(run.reward_history) == 3  # stopped right after the prefix
+        assert run.checkpoint_scores == []
+
+    def test_trainingrun_empty_scores(self):
+        from repro.core.evaluation import TrainingRun
+        run = TrainingRun(seed=0, reward_history=[], checkpoint_epochs=[],
+                          checkpoint_scores=[])
+        assert run.final_score == float("-inf")
+        assert run.smoothed_score(3) == float("-inf")
+
+
+class TestTestScoreProtocol:
+    def test_score_original_and_design(self, tiny_env):
+        video, train, test = tiny_env
+        trainer = DesignTrainer(video, train, test, config=FAST_EVAL)
+        protocol = TestScoreProtocol(trainer)
+        original = protocol.score_original()
+        assert np.isfinite(original)
+
+        design = Design(kind="state", code=GOOD_STATE)
+        score = protocol.score_design(design)
+        assert design.status is DesignStatus.EVALUATED
+        assert design.test_score == pytest.approx(score)
+        assert len(design.reward_history) == FAST_EVAL.train_epochs
+        assert design.metadata["num_seeds"] == FAST_EVAL.num_seeds
+
+    def test_median_across_seeds(self, tiny_env):
+        video, train, test = tiny_env
+        trainer = DesignTrainer(video, train, test, config=FAST_EVAL)
+        protocol = TestScoreProtocol(trainer, seeds=[0, 1, 2])
+        score, runs = protocol.run(None, None)
+        per_seed = [r.smoothed_score(FAST_EVAL.last_k_checkpoints) for r in runs]
+        assert score == pytest.approx(float(np.median(per_seed)))
+
+    def test_requires_at_least_one_seed(self, tiny_env):
+        video, train, test = tiny_env
+        trainer = DesignTrainer(video, train, test, config=FAST_EVAL)
+        with pytest.raises(ValueError):
+            TestScoreProtocol(trainer, seeds=[])
+
+    def test_evaluation_config_scaled(self):
+        scaled = FAST_EVAL.scaled(2.0)
+        assert scaled.train_epochs == 16
+        assert scaled.checkpoint_interval == 8
+        with pytest.raises(ValueError):
+            FAST_EVAL.scaled(0.0)
+
+
+class TestNadaPipeline:
+    def test_end_to_end_state_campaign(self, tiny_env):
+        video, train, test = tiny_env
+        config = NadaConfig(target="state", num_designs=6, llm="gpt-4",
+                            evaluation=FAST_EVAL, use_early_stopping=False, seed=0)
+        result = NadaPipeline(video, train, test, config=config).run()
+        assert result.filter_report.total == 6
+        assert np.isfinite(result.original_score)
+        assert result.fully_trained == len(result.pool.surviving_prechecks())
+        if result.best_design is not None:
+            assert result.best_design.test_score == result.best_score
+        summary = result.summary()
+        assert "original score" in summary
+
+    def test_pipeline_with_early_stopping_trains_fewer_designs_fully(self, tiny_env):
+        video, train, test = tiny_env
+        config = NadaConfig(target="state", num_designs=10, llm="gpt-4",
+                            evaluation=FAST_EVAL, use_early_stopping=True,
+                            bootstrap_fraction=0.5, min_bootstrap_designs=3,
+                            early_stopping=EarlyStoppingConfig(
+                                reward_prefix_length=4, training_epochs=30,
+                                top_fraction=0.2, smoothed_fraction=0.5),
+                            seed=0)
+        result = NadaPipeline(video, train, test, config=config).run()
+        survivors = len(result.pool.surviving_prechecks())
+        assert result.fully_trained + len(result.early_stopped_designs) == survivors
+
+    def test_both_targets_generates_two_pools(self, tiny_env):
+        video, train, test = tiny_env
+        config = NadaConfig(target="both", num_designs=3, evaluation=FAST_EVAL,
+                            use_early_stopping=False, seed=1)
+        result = NadaPipeline(video, train, test, config=config).run()
+        kinds = {d.kind for d in result.pool}
+        assert kinds == {DesignKind.STATE, DesignKind.NETWORK}
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            NadaConfig(target="protocol")
+        with pytest.raises(ValueError):
+            NadaConfig(num_designs=0)
+        with pytest.raises(ValueError):
+            NadaConfig(bootstrap_fraction=0.0)
+
+    def test_for_environment_constructor(self):
+        pipeline = NadaPipeline.for_environment(
+            "starlink", config=NadaConfig(num_designs=2, evaluation=FAST_EVAL,
+                                          use_early_stopping=False),
+            dataset_scale=0.05, num_chunks=6, seed=0)
+        assert pipeline.video.bitrates_kbps[0] == 300
+        assert len(pipeline.train_traces) >= 1
+
+    def test_evaluate_combination(self, tiny_env):
+        video, train, test = tiny_env
+        config = NadaConfig(evaluation=FAST_EVAL, use_early_stopping=False)
+        pipeline = NadaPipeline(video, train, test, config=config)
+        state = Design(kind="state", code=GOOD_STATE)
+        network = Design(kind="network", code=GOOD_NETWORK)
+        score = pipeline.evaluate_combination(state, network)
+        assert np.isfinite(score)

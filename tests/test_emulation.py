@@ -1,0 +1,226 @@
+"""Tests for the packet-level emulation substrate."""
+
+import numpy as np
+import pytest
+
+from repro.abr import BufferBasedPolicy, FixedBitratePolicy, synthetic_video
+from repro.emulation import (
+    DashPlayer,
+    EmulationConfig,
+    Emulator,
+    HTTPClient,
+    HTTPConfig,
+    LinkConfig,
+    MTU_BYTES,
+    PacketDeliveryLink,
+    PlayerConfig,
+    TCPConfig,
+    TCPConnection,
+    emulate_session,
+    evaluate_policy_emulated,
+)
+from repro.traces import Trace, TraceSet, generate_fcc_trace
+
+
+@pytest.fixture
+def flat_link(flat_trace):
+    return PacketDeliveryLink(flat_trace, LinkConfig(one_way_delay_s=0.01))
+
+
+class TestPacketDeliveryLink:
+    def test_mean_throughput_matches_trace(self, flat_trace):
+        link = PacketDeliveryLink(flat_trace)
+        assert link.mean_throughput_mbps == pytest.approx(3.0, rel=0.02)
+
+    def test_packets_delivered_scale_with_time(self, flat_link):
+        one_second = flat_link.packets_delivered_between(0.0, 1.0)
+        two_seconds = flat_link.packets_delivered_between(0.0, 2.0)
+        expected_per_second = 3.0e6 / 8.0 / MTU_BYTES
+        assert one_second == pytest.approx(expected_per_second, rel=0.05)
+        assert two_seconds == pytest.approx(2 * expected_per_second, rel=0.05)
+
+    def test_zero_interval(self, flat_link):
+        assert flat_link.packets_delivered_between(5.0, 5.0) == 0
+        assert flat_link.packets_delivered_between(5.0, 4.0) == 0
+
+    def test_time_to_deliver_inverse_of_counting(self, flat_link):
+        num_bytes = 250_000  # ~0.67 s at 3 Mbps
+        end = flat_link.time_to_deliver(0.0, num_bytes)
+        expected = num_bytes * 8 / 3e6
+        assert end == pytest.approx(expected, rel=0.05)
+
+    def test_time_to_deliver_with_rate_cap(self, flat_link):
+        num_bytes = 100_000
+        capped = flat_link.time_to_deliver(0.0, num_bytes,
+                                           rate_cap_bytes_per_s=10_000)
+        assert capped == pytest.approx(10.0, rel=0.01)
+
+    def test_time_to_deliver_zero_bytes(self, flat_link):
+        assert flat_link.time_to_deliver(3.0, 0.0) == 3.0
+
+    def test_schedule_wraps_cyclically(self, flat_trace):
+        link = PacketDeliveryLink(flat_trace)
+        far_future = link.cycle_duration_s * 3 + 1.0
+        packets = link.packets_delivered_between(far_future, far_future + 1.0)
+        assert packets > 0
+
+    def test_throughput_between(self, flat_link):
+        assert flat_link.throughput_between(0.0, 2.0) == pytest.approx(3.0, rel=0.05)
+        assert flat_link.throughput_between(2.0, 2.0) == 0.0
+
+    def test_zero_capacity_trace_raises_on_delivery(self):
+        trace = Trace([0.0, 10.0], [0.0, 0.0])
+        link = PacketDeliveryLink(trace)
+        with pytest.raises(RuntimeError):
+            link.time_to_deliver(0.0, 1500.0)
+
+
+class TestTCPConnection:
+    def test_small_transfer_fits_in_initial_window(self, flat_link):
+        tcp = TCPConnection(flat_link)
+        result = tcp.transfer(0.0, 5_000)
+        # One round: at least one RTT.
+        assert result.duration_s >= flat_link.config.rtt_s
+
+    def test_slow_start_doubles_window(self, flat_link):
+        tcp = TCPConnection(flat_link, TCPConfig(initial_cwnd_segments=2))
+        initial = tcp.cwnd_segments
+        tcp.transfer(0.0, 2 * MTU_BYTES)  # sender-limited round
+        assert tcp.cwnd_segments == pytest.approx(initial * 2)
+
+    def test_large_transfer_throughput_approaches_link_rate(self, flat_link):
+        tcp = TCPConnection(flat_link)
+        result = tcp.transfer(0.0, 3_000_000)  # 3 MB over a 3 Mbps link
+        assert result.mean_throughput_mbps == pytest.approx(3.0, rel=0.35)
+
+    def test_idle_reset_collapses_window(self):
+        # A very fast link lets slow start grow the window without loss events.
+        fast_trace = Trace(np.arange(0.0, 60.0, 1.0), np.full(60, 100.0))
+        link = PacketDeliveryLink(fast_trace, LinkConfig(one_way_delay_s=0.01))
+        config = TCPConfig(initial_cwnd_segments=4, idle_reset_s=0.5)
+        tcp = TCPConnection(link, config)
+        first = tcp.transfer(0.0, 1_000_000)
+        grown = tcp.cwnd_segments
+        assert grown > 4 * config.initial_cwnd_segments
+        tcp.transfer(first.end_s + 5.0, 1_500)  # long idle gap resets cwnd
+        assert tcp.cwnd_segments < grown
+
+    def test_transfer_zero_bytes(self, flat_link):
+        tcp = TCPConnection(flat_link)
+        result = tcp.transfer(1.0, 0.0)
+        assert result.duration_s == 0.0
+
+    def test_sequential_transfers_advance_time(self, flat_link):
+        tcp = TCPConnection(flat_link)
+        first = tcp.transfer(0.0, 100_000)
+        second = tcp.transfer(first.end_s, 100_000)
+        assert second.end_s > first.end_s
+        assert second.start_s == pytest.approx(first.end_s)
+
+
+class TestHTTPClient:
+    def test_get_latency_includes_rtt_and_processing(self, flat_link):
+        client = HTTPClient(flat_link, http_config=HTTPConfig(server_processing_s=0.1))
+        response = client.get(0.0, 1_000)
+        minimum = flat_link.config.rtt_s + 0.1
+        assert response.latency_s >= minimum
+
+    def test_larger_bodies_take_longer(self, flat_link):
+        client = HTTPClient(flat_link)
+        small = client.get(0.0, 10_000)
+        large = client.get(small.response_complete_s, 900_000)
+        assert large.latency_s > small.latency_s
+
+    def test_negative_body_rejected(self, flat_link):
+        with pytest.raises(ValueError):
+            HTTPClient(flat_link).get(0.0, -1.0)
+
+
+class TestDashPlayer:
+    def _player(self, video, trace, **player_kwargs):
+        link = PacketDeliveryLink(trace, LinkConfig(one_way_delay_s=0.02))
+        return DashPlayer(video, link,
+                          player_config=PlayerConfig(**player_kwargs))
+
+    def test_full_playback_produces_all_records(self, small_video, flat_trace):
+        player = self._player(small_video, flat_trace)
+        while not player.done:
+            player.observe()
+            player.step(1)
+        result = player.result()
+        assert result.num_chunks == small_video.num_chunks
+        assert player.startup_delay_s > 0.0
+
+    def test_startup_delay_grows_with_threshold(self, small_video, flat_trace):
+        quick = self._player(small_video, flat_trace, startup_buffer_s=4.0)
+        slow = self._player(small_video, flat_trace, startup_buffer_s=12.0)
+        for player in (quick, slow):
+            while not player.done:
+                player.step(0)
+        assert slow.startup_delay_s > quick.startup_delay_s
+
+    def test_stalls_on_slow_link_at_high_bitrate(self, small_video, slow_trace):
+        player = self._player(small_video, slow_trace)
+        while not player.done:
+            player.step(5)
+        assert player.total_stall_s > 0.0
+        assert any(event.kind == "stall" for event in player.events)
+
+    def test_no_stalls_with_conservative_policy_on_fast_link(self, small_video,
+                                                             flat_trace):
+        player = self._player(small_video, flat_trace)
+        while not player.done:
+            player.step(0)
+        assert player.total_stall_s == pytest.approx(0.0)
+
+    def test_invalid_bitrate_and_finished_errors(self, small_video, flat_trace):
+        player = self._player(small_video, flat_trace)
+        with pytest.raises(IndexError):
+            player.step(42)
+        while not player.done:
+            player.step(0)
+        with pytest.raises(RuntimeError):
+            player.step(0)
+        with pytest.raises(RuntimeError):
+            player.observe()
+
+    def test_observation_interface_matches_simulator(self, small_video, flat_trace,
+                                                     sample_observation):
+        player = self._player(small_video, flat_trace)
+        obs = player.observe()
+        assert obs.throughput_mbps_history.shape == \
+            sample_observation.throughput_mbps_history.shape
+        assert obs.total_chunks == small_video.num_chunks
+
+
+class TestEmulator:
+    def test_emulate_session_with_baseline(self, small_video, flat_trace):
+        result = emulate_session(BufferBasedPolicy(), small_video, flat_trace)
+        assert result.num_chunks == small_video.num_chunks
+        assert np.isfinite(result.mean_reward)
+
+    def test_evaluate_over_traceset(self, small_video):
+        traces = TraceSet([generate_fcc_trace(duration_s=120, seed=i)
+                           for i in range(2)], name="emu")
+        score = evaluate_policy_emulated(BufferBasedPolicy(), small_video, traces)
+        assert np.isfinite(score)
+
+    def test_emulation_downloads_slower_than_simulation(self, small_video, flat_trace):
+        """TCP slow start and HTTP overheads inflate download times vs. simulation."""
+        from repro.abr import run_session
+
+        policy = FixedBitratePolicy(3)
+        sim = run_session(policy, small_video, flat_trace)
+        emu = emulate_session(policy, small_video, flat_trace)
+        sim_mean_dl = np.mean([r.download_time_s for r in sim.records])
+        emu_mean_dl = np.mean([r.download_time_s for r in emu.records])
+        assert emu_mean_dl > sim_mean_dl
+
+    def test_emulator_config_injection(self, small_video, flat_trace):
+        config = EmulationConfig(link=LinkConfig(one_way_delay_s=0.2))
+        slow_rtt = Emulator(small_video, config=config)
+        fast_rtt = Emulator(small_video)
+        slow_result = slow_rtt.run(FixedBitratePolicy(2), flat_trace)
+        fast_result = fast_rtt.run(FixedBitratePolicy(2), flat_trace)
+        assert (np.mean([r.download_time_s for r in slow_result.records])
+                > np.mean([r.download_time_s for r in fast_result.records]))

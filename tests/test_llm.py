@@ -1,0 +1,279 @@
+"""Tests for the LLM substrate: clients, design space, synthetic model, embeddings."""
+
+import numpy as np
+import pytest
+
+from repro.core.codegen import CodeBlockError, load_network_builder, load_state_function
+from repro.core.filters import random_observation
+from repro.llm import (
+    ChatMessage,
+    Completion,
+    DesignSample,
+    HashingEmbedder,
+    LLMProfile,
+    NetworkDesignSpace,
+    NetworkDesignSpec,
+    OpenAICompatClient,
+    OpenAICompatError,
+    PROFILES,
+    STATE_EXTRA_FEATURES,
+    StateDesignSpace,
+    StateDesignSpec,
+    SyntheticLLM,
+    extract_code_blocks,
+    first_code_block,
+    tokenize_code,
+)
+from repro.core.prompts import build_network_prompt, build_state_prompt
+
+
+class TestChatPrimitives:
+    def test_chat_message_role_validation(self):
+        ChatMessage("user", "hello")
+        with pytest.raises(ValueError):
+            ChatMessage("robot", "hello")
+
+    def test_extract_code_blocks(self):
+        text = "Here is code:\n```python\nx = 1\n```\nand more\n```\ny = 2\n```"
+        blocks = extract_code_blocks(text)
+        assert blocks == ["x = 1", "y = 2"]
+
+    def test_first_code_block_prefers_fenced(self):
+        text = "```python\nimport numpy\n```"
+        assert first_code_block(text) == "import numpy"
+
+    def test_first_code_block_accepts_bare_code(self):
+        assert first_code_block("def f():\n    return 1").startswith("def f")
+
+    def test_first_code_block_none_for_prose(self):
+        assert first_code_block("I cannot help with that.") is None
+
+
+class TestStateDesignSpace:
+    def test_render_baseline_spec_compiles_and_runs(self):
+        space = StateDesignSpace()
+        code = space.render(StateDesignSpec())
+        func = load_state_function(code)
+        state = func(random_observation(np.random.default_rng(0)))
+        assert state.ndim == 2
+        assert np.all(np.isfinite(state))
+
+    @pytest.mark.parametrize("feature", STATE_EXTRA_FEATURES)
+    def test_every_extra_feature_compiles(self, feature):
+        space = StateDesignSpace()
+        code = space.render(StateDesignSpec(extra_features=(feature,)))
+        func = load_state_function(code)
+        state = func(random_observation(np.random.default_rng(1)))
+        assert np.all(np.isfinite(state))
+
+    def test_signed_normalization_produces_negative_values(self):
+        space = StateDesignSpace()
+        code = space.render(StateDesignSpec(normalization="signed"))
+        func = load_state_function(code)
+        state = func(random_observation(np.random.default_rng(2)))
+        assert state.min() < 0.0
+
+    def test_feature_removal_reduces_rows(self):
+        space = StateDesignSpace()
+        full = load_state_function(space.render(StateDesignSpec()))
+        reduced = load_state_function(space.render(
+            StateDesignSpec(include_download_time=False, include_next_sizes=False)))
+        obs = random_observation(np.random.default_rng(3))
+        assert reduced(obs).shape[0] == full(obs).shape[0] - 2
+
+    def test_syntax_defect_fails_compilation(self):
+        code = StateDesignSpace().render(StateDesignSpec(defect="syntax"))
+        with pytest.raises(CodeBlockError):
+            load_state_function(code)
+
+    def test_runtime_defect_fails_on_call(self):
+        code = StateDesignSpace().render(StateDesignSpec(defect="runtime"))
+        func = load_state_function(code)
+        with pytest.raises(Exception):
+            func(random_observation(np.random.default_rng(0)))
+
+    def test_raw_sizes_defect_violates_normalization(self):
+        code = StateDesignSpace().render(StateDesignSpec(defect="raw_sizes"))
+        func = load_state_function(code)
+        state = func(random_observation(np.random.default_rng(0)))
+        assert np.abs(state).max() > 100.0
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            StateDesignSpec(normalization="bogus")
+        with pytest.raises(ValueError):
+            StateDesignSpec(extra_features=("not_a_feature",))
+        with pytest.raises(ValueError):
+            StateDesignSpec(defect="explode")
+
+    def test_sample_spec_determinism(self):
+        space = StateDesignSpace()
+        a = space.sample_spec(np.random.default_rng(5))
+        b = space.sample_spec(np.random.default_rng(5))
+        assert a == b
+
+    def test_tags_reflect_spec(self):
+        spec = StateDesignSpec(normalization="signed", include_next_sizes=False,
+                               extra_features=("buffer_diff",), defect="syntax")
+        tags = spec.tags
+        assert "norm:signed" in tags
+        assert "drop:next_sizes" in tags
+        assert "feat:buffer_diff" in tags
+        assert "defect:syntax" in tags
+
+
+class TestNetworkDesignSpace:
+    @pytest.mark.parametrize("encoder", ["pensieve_conv", "conv", "flatten",
+                                         "rnn", "gru", "lstm"])
+    def test_every_encoder_builds_and_runs(self, encoder):
+        code = NetworkDesignSpace().render(NetworkDesignSpec(encoder=encoder,
+                                                             hidden_size=32))
+        builder = load_network_builder(code)
+        network = builder((6, 8), 6, rng=np.random.default_rng(0))
+        from repro import nn
+        logits, value = network.forward(nn.tensor(np.zeros((2, 6, 8))))
+        assert logits.shape == (2, 6)
+        assert value.shape == (2,)
+
+    def test_shared_trunk_and_activation_render(self):
+        code = NetworkDesignSpace().render(
+            NetworkDesignSpec(encoder="flatten", share_trunk=True,
+                              activation="leaky_relu", hidden_size=48))
+        assert "share_trunk=True" in code
+        assert "leaky_relu" in code
+        builder = load_network_builder(code)
+        assert builder((6, 8), 6) is not None
+
+    def test_syntax_defect_fails(self):
+        code = NetworkDesignSpace().render(NetworkDesignSpec(defect="syntax"))
+        with pytest.raises(CodeBlockError):
+            load_network_builder(code)
+
+    def test_runtime_defect_fails_on_build(self):
+        code = NetworkDesignSpace().render(NetworkDesignSpec(defect="runtime"))
+        builder = load_network_builder(code)
+        with pytest.raises(Exception):
+            builder((6, 8), 6)
+
+    def test_shape_defect_returns_wrong_type(self):
+        code = NetworkDesignSpace().render(NetworkDesignSpec(defect="shape"))
+        builder = load_network_builder(code)
+        assert builder((6, 8), 6) is None
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            NetworkDesignSpec(encoder="transformer")
+        with pytest.raises(ValueError):
+            NetworkDesignSpec(hidden_size=0)
+
+
+class TestSyntheticLLM:
+    def test_profiles_registered(self):
+        assert set(PROFILES) == {"gpt-3.5", "gpt-4"}
+        assert PROFILES["gpt-4"].compile_success_rate > \
+            PROFILES["gpt-3.5"].compile_success_rate
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            LLMProfile("bad", 1.5, 0.5, 0.5)
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(KeyError):
+            SyntheticLLM("gpt-5")
+
+    def test_complete_returns_code_block(self):
+        client = SyntheticLLM("gpt-4", seed=0)
+        completion = client.complete(build_state_prompt())
+        assert isinstance(completion, Completion)
+        assert first_code_block(completion.text) is not None
+        assert completion.metadata["kind"] == "state"
+
+    def test_prompt_kind_inference(self):
+        client = SyntheticLLM("gpt-4", seed=0)
+        state_completion = client.complete(build_state_prompt())
+        network_completion = client.complete(build_network_prompt())
+        assert state_completion.metadata["kind"] == "state"
+        assert network_completion.metadata["kind"] == "network"
+
+    def test_seeded_completion_is_deterministic(self):
+        client = SyntheticLLM("gpt-4", seed=0)
+        a = client.complete(build_state_prompt(), seed=7).text
+        b = client.complete(build_state_prompt(), seed=7).text
+        assert a == b
+
+    def test_generation_stream_is_reproducible_for_same_client_seed(self):
+        texts_a = [SyntheticLLM("gpt-3.5", seed=3).complete(build_state_prompt()).text
+                   for _ in range(1)]
+        texts_b = [SyntheticLLM("gpt-3.5", seed=3).complete(build_state_prompt()).text
+                   for _ in range(1)]
+        assert texts_a == texts_b
+
+    def test_defect_rates_roughly_match_profile(self):
+        client = SyntheticLLM("gpt-3.5", seed=1)
+        rng = np.random.default_rng(0)
+        samples = [client.generate_design("state", rng=rng) for _ in range(300)]
+        defects = sum(1 for s in samples
+                      if any(t.startswith("defect:") for t in s.tags))
+        healthy_fraction = 1 - defects / len(samples)
+        # Healthy fraction ≈ compile_rate * normalized_given_compilable ≈ 0.27.
+        assert 0.15 < healthy_fraction < 0.42
+
+    def test_generate_design_unknown_kind(self):
+        with pytest.raises(ValueError):
+            SyntheticLLM("gpt-4").generate_design("protocol")
+
+    def test_gpt4_generates_more_creative_designs(self):
+        rng35 = np.random.default_rng(0)
+        rng4 = np.random.default_rng(0)
+        gpt35 = SyntheticLLM("gpt-3.5", seed=0)
+        gpt4 = SyntheticLLM("gpt-4", seed=0)
+        extras35 = sum(len(gpt35._state_space.sample_spec(
+            rng35, creativity=gpt35.profile.creativity).extra_features)
+            for _ in range(200))
+        extras4 = sum(len(gpt4._state_space.sample_spec(
+            rng4, creativity=gpt4.profile.creativity).extra_features)
+            for _ in range(200))
+        assert extras4 > extras35
+
+
+class TestEmbeddings:
+    def test_embedding_is_unit_norm_and_deterministic(self):
+        embedder = HashingEmbedder(dimension=64)
+        text = "def f(x):\n    return x + 1"
+        a = embedder.embed(text)
+        b = embedder.embed(text)
+        np.testing.assert_array_equal(a, b)
+        assert np.linalg.norm(a) == pytest.approx(1.0)
+
+    def test_similar_code_more_similar_than_different_code(self):
+        embedder = HashingEmbedder()
+        base = "def state_func(a, b):\n    return a / b"
+        similar = "def state_func(a, b):\n    return a / (b + 1)"
+        different = "class Foo:\n    pass\n\nprint('hello world')"
+        assert embedder.similarity(base, similar) > embedder.similarity(base, different)
+
+    def test_batch_embedding_shape(self):
+        embedder = HashingEmbedder(dimension=32)
+        batch = embedder.embed_batch(["a = 1", "b = 2", "c = 3"])
+        assert batch.shape == (3, 32)
+        assert embedder.embed_batch([]).shape == (0, 32)
+
+    def test_dimension_validation(self):
+        with pytest.raises(ValueError):
+            HashingEmbedder(dimension=2)
+
+    def test_tokenizer_splits_identifiers_and_operators(self):
+        tokens = tokenize_code("x_1 = foo(3.5) + bar")
+        assert "x_1" in tokens and "foo" in tokens and "+" in tokens and "3.5" in tokens
+
+
+class TestOpenAICompatClient:
+    def test_requires_api_key(self, monkeypatch):
+        monkeypatch.delenv("OPENAI_API_KEY", raising=False)
+        client = OpenAICompatClient(model="gpt-4", api_key=None)
+        with pytest.raises(OpenAICompatError):
+            client.complete([ChatMessage("user", "hi")])
+
+    def test_model_name_exposed(self):
+        client = OpenAICompatClient(model="gpt-3.5-turbo", api_key="k")
+        assert client.model_name == "gpt-3.5-turbo"

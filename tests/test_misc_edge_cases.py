@@ -1,0 +1,116 @@
+"""Additional edge-case tests across packages (failure injection and limits)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.abr import LinearQoE, StreamingSession, synthetic_video
+from repro.core import Design, DesignStatus, CandidatePool
+from repro.core.codegen import CodeBlockError, compile_code_block
+from repro.emulation import LinkConfig, PacketDeliveryLink
+from repro.llm import NetworkDesignSpace, NetworkDesignSpec, StateDesignSpace, StateDesignSpec
+from repro.traces import Trace
+
+
+class TestSandboxHardening:
+    def test_builtins_are_restricted(self):
+        code = "def f():\n    return open('/etc/passwd').read()"
+        func = compile_code_block(code, "f")
+        with pytest.raises(Exception):
+            func()
+
+    def test_exec_and_eval_not_available(self):
+        code = "def f():\n    return eval('1+1')"
+        func = compile_code_block(code, "f")
+        with pytest.raises(Exception):
+            func()
+
+    def test_numpy_alias_available_without_import(self):
+        code = "def f():\n    return np.arange(3).sum()"
+        func = compile_code_block(code, "f")
+        assert func() == 3
+
+    def test_math_and_statistics_available(self):
+        code = ("import math\nimport statistics\n\n"
+                "def f():\n    return math.sqrt(4) + statistics.mean([1, 3])")
+        assert compile_code_block(code, "f")() == pytest.approx(4.0)
+
+    def test_collections_import_allowed(self):
+        code = ("from collections import deque\n\n"
+                "def f():\n    d = deque([1, 2, 3], maxlen=2)\n    return sum(d)")
+        assert compile_code_block(code, "f")() == 5
+
+
+class TestDesignSpaceRenderingDetails:
+    def test_network_extra_depth_adds_layers(self):
+        space = NetworkDesignSpace()
+        shallow = space.render(NetworkDesignSpec(encoder="flatten", extra_depth=0))
+        deep = space.render(NetworkDesignSpec(encoder="flatten", extra_depth=1))
+        assert shallow.count("hidden_sizes=(") == 1
+        # Deeper spec renders a longer hidden_sizes tuple.
+        assert deep.split("hidden_sizes=")[1].split(")")[0].count(",") > \
+            shallow.split("hidden_sizes=")[1].split(")")[0].count(",")
+
+    def test_state_render_is_deterministic(self):
+        spec = StateDesignSpec(normalization="signed",
+                               extra_features=("buffer_diff", "throughput_ema"))
+        space = StateDesignSpace()
+        assert space.render(spec) == space.render(spec)
+
+    def test_sample_includes_code_and_tags(self):
+        sample = StateDesignSpace().sample(np.random.default_rng(0))
+        assert sample.kind == "state"
+        assert "state_func" in sample.code
+        assert sample.describe().startswith("state design")
+
+
+class TestPoolAndDesignEdgeCases:
+    def test_pool_constructor_rejects_duplicate_ids(self):
+        design = Design(kind="state", code="x = 1")
+        with pytest.raises(ValueError):
+            CandidatePool([design, design])
+
+    def test_record_training_without_checkpoints(self):
+        design = Design(kind="state", code="x = 1")
+        design.record_training([1.0, 2.0])
+        assert design.checkpoint_scores == []
+
+    def test_summary_before_evaluation(self):
+        design = Design(kind="network", code="y = 1")
+        assert "score=-" in design.summary()
+
+    def test_pool_statistics_all_statuses_present(self):
+        pool = CandidatePool([Design(kind="state", code="x = 1")])
+        stats = pool.statistics()
+        for status in DesignStatus:
+            assert status.value in stats
+
+
+class TestSimulatorAndLinkLimits:
+    def test_session_with_tiny_video(self, flat_trace):
+        video = synthetic_video("standard", num_chunks=1, seed=0)
+        session = StreamingSession(video, flat_trace)
+        session.step(0)
+        assert session.done
+
+    def test_qoe_override_in_session(self, flat_trace, small_video):
+        qoe = LinearQoE(small_video.bitrates_kbps, rebuffer_penalty=0.0)
+        session = StreamingSession(small_video, flat_trace, qoe=qoe)
+        record, _ = session.step(5)
+        assert record.reward == pytest.approx(4.3)
+
+    def test_link_with_bursty_trace_has_positive_capacity(self):
+        # Alternating 0 / 10 Mbps windows still deliver packets over time.
+        timestamps = np.arange(0.0, 20.0, 1.0)
+        throughputs = np.tile([0.0, 10.0], 10)
+        link = PacketDeliveryLink(Trace(timestamps, throughputs),
+                                  LinkConfig(granularity_ms=500))
+        assert link.mean_throughput_mbps > 0
+        end = link.time_to_deliver(0.0, 100_000)
+        assert end > 0.0
+
+    def test_nn_module_state_dict_shape_mismatch(self):
+        a = nn.Dense(2, 3)
+        b = nn.Dense(3, 2)
+        with pytest.raises(Exception):
+            b.load_state_dict(a.state_dict())

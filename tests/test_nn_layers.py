@@ -1,0 +1,266 @@
+"""Tests for neural-network layers, modules and initializers."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import init as initializers
+
+
+class TestInitializers:
+    def test_xavier_uniform_bounds(self):
+        w = initializers.xavier_uniform((50, 60), rng=np.random.default_rng(0))
+        limit = np.sqrt(6.0 / 110)
+        assert w.shape == (50, 60)
+        assert np.all(np.abs(w) <= limit + 1e-12)
+
+    def test_xavier_normal_scale(self):
+        w = initializers.xavier_normal((200, 300), rng=np.random.default_rng(0))
+        expected_std = np.sqrt(2.0 / 500)
+        assert w.std() == pytest.approx(expected_std, rel=0.1)
+
+    def test_he_normal_scale(self):
+        w = initializers.he_normal((400, 100), rng=np.random.default_rng(0))
+        assert w.std() == pytest.approx(np.sqrt(2.0 / 400), rel=0.1)
+
+    @pytest.mark.parametrize("shape", [(8, 8), (16, 4), (4, 16), (6, 18)])
+    def test_orthogonal_produces_orthonormal_rows_or_columns(self, shape):
+        w = initializers.orthogonal(shape, rng=np.random.default_rng(0))
+        assert w.shape == shape
+        rows, cols = shape
+        if rows <= cols:
+            gram = w @ w.T
+            np.testing.assert_allclose(gram, np.eye(rows), atol=1e-8)
+        else:
+            gram = w.T @ w
+            np.testing.assert_allclose(gram, np.eye(cols), atol=1e-8)
+
+    def test_orthogonal_requires_2d(self):
+        with pytest.raises(ValueError):
+            initializers.orthogonal((5,))
+
+    def test_zeros_init(self):
+        assert np.all(initializers.zeros_init((3, 3)) == 0)
+
+    def test_conv_kernel_fans(self):
+        w = initializers.xavier_uniform((8, 4, 3), rng=np.random.default_rng(0))
+        assert w.shape == (8, 4, 3)
+
+
+class TestDense:
+    def test_output_shape(self):
+        layer = nn.Dense(4, 7, rng=np.random.default_rng(0))
+        out = layer(nn.tensor(np.ones((3, 4))))
+        assert out.shape == (3, 7)
+
+    def test_activation_applied(self):
+        layer = nn.Dense(2, 3, activation="relu", rng=np.random.default_rng(0))
+        out = layer(nn.tensor(np.full((5, 2), -100.0)))
+        # With a large negative input and zero bias, ReLU clamps everything to >= 0.
+        assert np.all(out.numpy() >= 0)
+
+    def test_no_bias(self):
+        layer = nn.Dense(3, 2, bias=False)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_gradients_flow_to_weight_and_bias(self):
+        layer = nn.Dense(3, 2, rng=np.random.default_rng(0))
+        out = layer(nn.tensor(np.ones((4, 3))))
+        out.sum().backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+        np.testing.assert_allclose(layer.bias.grad, np.full(2, 4.0))
+
+    def test_unknown_activation_raises(self):
+        with pytest.raises(KeyError):
+            nn.Dense(2, 2, activation="does-not-exist")
+
+
+class TestConv1D:
+    def test_output_shape(self):
+        conv = nn.Conv1D(2, 5, kernel_size=3, rng=np.random.default_rng(0))
+        out = conv(nn.tensor(np.ones((4, 2, 8))))
+        assert out.shape == (4, 5, 6)
+
+    def test_2d_input_treated_as_single_channel(self):
+        conv = nn.Conv1D(1, 3, kernel_size=4, rng=np.random.default_rng(0))
+        out = conv(nn.tensor(np.ones((2, 8))))
+        assert out.shape == (2, 3, 5)
+
+    def test_matches_manual_convolution(self):
+        rng = np.random.default_rng(1)
+        conv = nn.Conv1D(1, 1, kernel_size=3, bias=False, rng=rng)
+        signal = rng.normal(size=(1, 1, 6))
+        out = conv(nn.tensor(signal)).numpy()[0, 0]
+        kernel = conv.weight.data[0, 0]
+        expected = [float(np.dot(signal[0, 0, i:i + 3], kernel)) for i in range(4)]
+        np.testing.assert_allclose(out, expected, atol=1e-12)
+
+    def test_stride(self):
+        conv = nn.Conv1D(1, 2, kernel_size=2, stride=2, rng=np.random.default_rng(0))
+        out = conv(nn.tensor(np.ones((1, 1, 8))))
+        assert out.shape == (1, 2, 4)
+
+    def test_gradients_reach_weights(self):
+        conv = nn.Conv1D(2, 3, kernel_size=3, rng=np.random.default_rng(0))
+        out = conv(nn.tensor(np.random.default_rng(0).normal(size=(2, 2, 7))))
+        out.sum().backward()
+        assert conv.weight.grad is not None
+        assert conv.weight.grad.shape == conv.weight.data.shape
+        assert conv.bias.grad is not None
+
+    def test_wrong_channel_count_raises(self):
+        conv = nn.Conv1D(3, 2, kernel_size=2)
+        with pytest.raises(ValueError):
+            conv(nn.tensor(np.ones((1, 2, 5))))
+
+    def test_too_short_input_raises(self):
+        conv = nn.Conv1D(1, 2, kernel_size=5)
+        with pytest.raises(ValueError):
+            conv(nn.tensor(np.ones((1, 1, 3))))
+
+
+class TestRecurrentCells:
+    def test_rnn_cell_shapes(self):
+        cell = nn.RNNCell(4, 6, rng=np.random.default_rng(0))
+        h = cell(nn.tensor(np.ones((3, 4))), cell.initial_state(3))
+        assert h.shape == (3, 6)
+        assert np.all(np.abs(h.numpy()) <= 1.0)
+
+    def test_gru_cell_shapes(self):
+        cell = nn.GRUCell(4, 5, rng=np.random.default_rng(0))
+        h = cell(nn.tensor(np.ones((2, 4))), cell.initial_state(2))
+        assert h.shape == (2, 5)
+
+    def test_lstm_cell_shapes(self):
+        cell = nn.LSTMCell(3, 5, rng=np.random.default_rng(0))
+        h0, c0 = cell.initial_state(2)
+        h1, c1 = cell(nn.tensor(np.ones((2, 3))), h0, c0)
+        assert h1.shape == (2, 5)
+        assert c1.shape == (2, 5)
+
+    def test_gru_zero_state_from_zero_input_stays_bounded(self):
+        cell = nn.GRUCell(2, 3, rng=np.random.default_rng(0))
+        h = cell(nn.tensor(np.zeros((1, 2))), cell.initial_state(1))
+        assert np.all(np.isfinite(h.numpy()))
+
+    @pytest.mark.parametrize("cell_type", ["rnn", "gru", "lstm"])
+    def test_recurrent_wrapper_final_state(self, cell_type):
+        layer = nn.Recurrent(3, 8, cell_type=cell_type, rng=np.random.default_rng(0))
+        out = layer(nn.tensor(np.random.default_rng(0).normal(size=(4, 3, 6))))
+        assert out.shape == (4, 8)
+
+    def test_recurrent_wrapper_2d_input(self):
+        layer = nn.Recurrent(1, 4, cell_type="gru", rng=np.random.default_rng(0))
+        out = layer(nn.tensor(np.ones((2, 5))))
+        assert out.shape == (2, 4)
+
+    def test_recurrent_unknown_cell_raises(self):
+        with pytest.raises(ValueError):
+            nn.Recurrent(2, 3, cell_type="transformer")
+
+    def test_recurrent_gradients_flow(self):
+        layer = nn.Recurrent(2, 4, cell_type="lstm", rng=np.random.default_rng(0))
+        out = layer(nn.tensor(np.random.default_rng(1).normal(size=(2, 2, 5))))
+        out.sum().backward()
+        for param in layer.parameters():
+            assert param.grad is not None
+
+
+class TestContainersAndUtilities:
+    def test_sequential_applies_in_order(self):
+        model = nn.Sequential(
+            nn.Dense(3, 4, activation="relu", rng=np.random.default_rng(0)),
+            nn.Dense(4, 2, rng=np.random.default_rng(1)),
+        )
+        out = model(nn.tensor(np.ones((5, 3))))
+        assert out.shape == (5, 2)
+        assert len(model) == 2
+        assert len(list(iter(model))) == 2
+
+    def test_sequential_append(self):
+        model = nn.Sequential(nn.Dense(2, 2))
+        model.append(nn.Dense(2, 3))
+        assert len(model) == 2
+
+    def test_flatten(self):
+        out = nn.Flatten()(nn.tensor(np.ones((2, 3, 4))))
+        assert out.shape == (2, 12)
+
+    def test_dropout_eval_mode_is_identity(self):
+        layer = nn.Dropout(0.9, rng=np.random.default_rng(0))
+        layer.eval()
+        data = np.ones((4, 4))
+        np.testing.assert_allclose(layer(nn.tensor(data)).numpy(), data)
+
+    def test_dropout_train_mode_zeroes_entries(self):
+        layer = nn.Dropout(0.5, rng=np.random.default_rng(0))
+        layer.train()
+        out = layer(nn.tensor(np.ones((100,)))).numpy()
+        assert np.any(out == 0.0)
+        # Inverted dropout rescales survivors.
+        assert np.all(np.isclose(out, 0.0) | np.isclose(out, 2.0))
+
+    def test_dropout_invalid_rate(self):
+        with pytest.raises(ValueError):
+            nn.Dropout(1.0)
+
+    def test_layernorm_normalizes_last_axis(self):
+        layer = nn.LayerNorm(6)
+        data = np.random.default_rng(0).normal(loc=5.0, scale=3.0, size=(4, 6))
+        out = layer(nn.tensor(data)).numpy()
+        np.testing.assert_allclose(out.mean(axis=-1), np.zeros(4), atol=1e-6)
+        np.testing.assert_allclose(out.std(axis=-1), np.ones(4), atol=1e-2)
+
+    def test_module_num_parameters(self):
+        model = nn.Dense(10, 5)
+        assert model.num_parameters() == 10 * 5 + 5
+
+    def test_parameters_deduplicated_for_shared_modules(self):
+        shared = nn.Dense(3, 3)
+        container = nn.Sequential(shared, shared)
+        assert len(container.parameters()) == 2  # weight + bias only once
+
+    def test_zero_grad_clears_all(self):
+        model = nn.Sequential(nn.Dense(2, 2), nn.Dense(2, 1))
+        out = model(nn.tensor(np.ones((1, 2))))
+        out.sum().backward()
+        assert any(p.grad is not None for p in model.parameters())
+        model.zero_grad()
+        assert all(p.grad is None for p in model.parameters())
+
+    def test_train_eval_propagates(self):
+        model = nn.Sequential(nn.Dropout(0.5), nn.Dense(2, 2))
+        model.eval()
+        assert not model.modules[0]._training
+        model.train()
+        assert model.modules[0]._training
+
+
+class TestStateDict:
+    def test_state_dict_roundtrip(self):
+        model = nn.Sequential(
+            nn.Dense(3, 4, rng=np.random.default_rng(0)),
+            nn.Dense(4, 2, rng=np.random.default_rng(1)),
+        )
+        state = model.state_dict()
+        clone = nn.Sequential(
+            nn.Dense(3, 4, rng=np.random.default_rng(5)),
+            nn.Dense(4, 2, rng=np.random.default_rng(6)),
+        )
+        clone.load_state_dict(state)
+        data = np.random.default_rng(2).normal(size=(3, 3))
+        np.testing.assert_allclose(model(nn.tensor(data)).numpy(),
+                                   clone(nn.tensor(data)).numpy())
+
+    def test_load_missing_key_raises(self):
+        model = nn.Dense(2, 2)
+        with pytest.raises(KeyError):
+            model.load_state_dict({})
+
+    def test_state_dict_contains_nested_paths(self):
+        model = nn.Sequential(nn.Dense(2, 2), nn.Dense(2, 2))
+        keys = model.state_dict().keys()
+        assert any("modules.0" in key for key in keys)
+        assert any("modules.1" in key for key in keys)

@@ -1,0 +1,160 @@
+"""Tests for optimizers, loss functions and checkpoint serialization."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+
+def _quadratic_problem(optimizer_factory, steps=200):
+    """Minimize ||w - target||^2 with the given optimizer; return final w."""
+    target = np.array([1.0, -2.0, 3.0])
+    w = nn.Parameter(np.zeros(3))
+    optimizer = optimizer_factory([w])
+    for _ in range(steps):
+        loss = ((w - nn.tensor(target)) ** 2).sum()
+        optimizer.zero_grad()
+        loss.backward()
+        optimizer.step()
+    return w.data, target
+
+
+class TestOptimizers:
+    def test_sgd_converges_on_quadratic(self):
+        final, target = _quadratic_problem(lambda p: nn.SGD(p, lr=0.1))
+        np.testing.assert_allclose(final, target, atol=1e-3)
+
+    def test_sgd_with_momentum_converges(self):
+        final, target = _quadratic_problem(lambda p: nn.SGD(p, lr=0.05, momentum=0.9))
+        np.testing.assert_allclose(final, target, atol=1e-3)
+
+    def test_rmsprop_converges(self):
+        final, target = _quadratic_problem(lambda p: nn.RMSProp(p, lr=0.05), steps=500)
+        np.testing.assert_allclose(final, target, atol=1e-2)
+
+    def test_adam_converges(self):
+        final, target = _quadratic_problem(lambda p: nn.Adam(p, lr=0.1), steps=500)
+        np.testing.assert_allclose(final, target, atol=1e-2)
+
+    def test_weight_decay_shrinks_weights(self):
+        w = nn.Parameter(np.array([10.0]))
+        optimizer = nn.SGD([w], lr=0.1, weight_decay=1.0)
+        for _ in range(50):
+            loss = (w * 0.0).sum()  # zero data gradient; only decay acts
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        assert abs(w.data[0]) < 10.0
+
+    def test_optimizer_requires_parameters(self):
+        with pytest.raises(ValueError):
+            nn.SGD([], lr=0.1)
+
+    def test_optimizer_requires_positive_lr(self):
+        with pytest.raises(ValueError):
+            nn.Adam([nn.Parameter(np.zeros(1))], lr=0.0)
+
+    def test_step_skips_parameters_without_grad(self):
+        w = nn.Parameter(np.array([1.0]))
+        optimizer = nn.Adam([w], lr=0.1)
+        optimizer.step()  # no grad yet; must not raise or change the value
+        assert w.data[0] == 1.0
+
+    def test_clip_grad_norm_scales_down(self):
+        w = nn.Parameter(np.zeros(4))
+        w.grad = np.full(4, 10.0)
+        norm_before = nn.clip_grad_norm([w], max_norm=1.0)
+        assert norm_before == pytest.approx(20.0)
+        assert np.linalg.norm(w.grad) == pytest.approx(1.0)
+
+    def test_clip_grad_norm_no_clip_when_small(self):
+        w = nn.Parameter(np.zeros(2))
+        w.grad = np.array([0.1, 0.1])
+        nn.clip_grad_norm([w], max_norm=10.0)
+        np.testing.assert_allclose(w.grad, [0.1, 0.1])
+
+    def test_clip_grad_norm_empty(self):
+        w = nn.Parameter(np.zeros(2))
+        assert nn.clip_grad_norm([w], max_norm=1.0) == 0.0
+
+
+class TestLosses:
+    def test_mse_loss_value(self):
+        pred = nn.tensor([1.0, 2.0, 3.0], requires_grad=True)
+        target = nn.tensor([1.0, 0.0, 3.0])
+        loss = nn.mse_loss(pred, target)
+        assert loss.item() == pytest.approx(4.0 / 3.0)
+        loss.backward()
+        np.testing.assert_allclose(pred.grad, [0.0, 4.0 / 3.0, 0.0])
+
+    def test_huber_matches_mse_for_small_errors(self):
+        pred = nn.tensor([0.1, -0.2])
+        target = nn.tensor([0.0, 0.0])
+        huber = nn.huber_loss(pred, target, delta=1.0).item()
+        expected = 0.5 * np.mean([0.1 ** 2, 0.2 ** 2])
+        assert huber == pytest.approx(expected)
+
+    def test_huber_linear_for_large_errors(self):
+        pred = nn.tensor([10.0])
+        target = nn.tensor([0.0])
+        huber = nn.huber_loss(pred, target, delta=1.0).item()
+        assert huber == pytest.approx(0.5 + (10.0 - 1.0))
+
+    def test_binary_cross_entropy_perfect_prediction(self):
+        pred = nn.tensor([0.9999999, 0.0000001])
+        target = nn.tensor([1.0, 0.0])
+        assert nn.binary_cross_entropy(pred, target).item() < 1e-3
+
+    def test_binary_cross_entropy_wrong_prediction_is_large(self):
+        pred = nn.tensor([0.01])
+        target = nn.tensor([1.0])
+        assert nn.binary_cross_entropy(pred, target).item() > 2.0
+
+    def test_cross_entropy_uniform_logits(self):
+        logits = nn.tensor(np.zeros((2, 4)), requires_grad=True)
+        loss = nn.cross_entropy(logits, np.array([0, 3]))
+        assert loss.item() == pytest.approx(np.log(4.0))
+        loss.backward()
+        assert logits.grad is not None
+
+    def test_policy_gradient_loss_sign(self):
+        # Positive advantage on a likely action should give a negative loss.
+        log_probs = nn.tensor([-0.1, -0.1])
+        loss = nn.policy_gradient_loss(log_probs, np.array([1.0, 1.0]))
+        assert loss.item() > 0.0  # -(log_prob * adv) with negative log_prob
+        loss2 = nn.policy_gradient_loss(log_probs, np.array([-1.0, -1.0]))
+        assert loss2.item() < 0.0
+
+    def test_entropy_maximal_for_uniform(self):
+        uniform = nn.tensor(np.full((1, 4), 0.25))
+        peaked = nn.tensor([[0.97, 0.01, 0.01, 0.01]])
+        assert nn.entropy(uniform).item() > nn.entropy(peaked).item()
+        assert nn.entropy(uniform).item() == pytest.approx(np.log(4.0), rel=1e-6)
+
+
+class TestSerialization:
+    def test_save_and_load_module(self, tmp_path):
+        model = nn.Sequential(nn.Dense(4, 8, rng=np.random.default_rng(0)),
+                              nn.Dense(8, 2, rng=np.random.default_rng(1)))
+        path = str(tmp_path / "checkpoint.npz")
+        nn.save_module(model, path)
+
+        clone = nn.Sequential(nn.Dense(4, 8, rng=np.random.default_rng(9)),
+                              nn.Dense(8, 2, rng=np.random.default_rng(10)))
+        nn.load_module(clone, path)
+        data = np.random.default_rng(3).normal(size=(5, 4))
+        np.testing.assert_allclose(model(nn.tensor(data)).numpy(),
+                                   clone(nn.tensor(data)).numpy())
+
+    def test_load_state_appends_npz_suffix(self, tmp_path):
+        model = nn.Dense(2, 2)
+        path = str(tmp_path / "model")
+        nn.save_module(model, path + ".npz")
+        state = nn.load_state(path)
+        assert set(state) == set(model.state_dict())
+
+    def test_save_creates_directories(self, tmp_path):
+        model = nn.Dense(2, 2)
+        path = str(tmp_path / "nested" / "dir" / "model.npz")
+        nn.save_module(model, path)
+        assert (tmp_path / "nested" / "dir" / "model.npz").exists()

@@ -1,0 +1,370 @@
+"""Tests for the autograd tensor engine."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.tensor import Tensor, concatenate, no_grad, stack, tensor
+
+
+def numerical_gradient(func, x, eps=1e-6):
+    """Central-difference gradient of a scalar-valued function of an array."""
+    grad = np.zeros_like(x)
+    flat = x.ravel()
+    grad_flat = grad.ravel()
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = func(x)
+        flat[i] = original - eps
+        minus = func(x)
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+class TestTensorBasics:
+    def test_construction_and_shape(self):
+        t = tensor([[1.0, 2.0], [3.0, 4.0]])
+        assert t.shape == (2, 2)
+        assert t.ndim == 2
+        assert t.size == 4
+        assert len(t) == 2
+
+    def test_item_and_numpy(self):
+        t = tensor(3.5)
+        assert t.item() == pytest.approx(3.5)
+        assert isinstance(t.numpy(), np.ndarray)
+
+    def test_detach_breaks_graph(self):
+        t = tensor([1.0, 2.0], requires_grad=True)
+        d = (t * 2).detach()
+        assert not d.requires_grad
+
+    def test_repr_mentions_grad(self):
+        t = tensor([1.0], requires_grad=True)
+        assert "requires_grad" in repr(t)
+
+    def test_backward_on_non_scalar_requires_grad_argument(self):
+        t = tensor([1.0, 2.0], requires_grad=True)
+        out = t * 3
+        with pytest.raises(RuntimeError):
+            out.backward()
+
+    def test_backward_without_requires_grad_raises(self):
+        t = tensor([1.0, 2.0])
+        with pytest.raises(RuntimeError):
+            t.backward()
+
+
+class TestArithmeticGradients:
+    def test_add_gradient(self):
+        a = tensor([1.0, 2.0, 3.0], requires_grad=True)
+        b = tensor([4.0, 5.0, 6.0], requires_grad=True)
+        (a + b).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones(3))
+        np.testing.assert_allclose(b.grad, np.ones(3))
+
+    def test_mul_gradient(self):
+        a = tensor([1.0, 2.0, 3.0], requires_grad=True)
+        b = tensor([4.0, 5.0, 6.0], requires_grad=True)
+        (a * b).sum().backward()
+        np.testing.assert_allclose(a.grad, [4.0, 5.0, 6.0])
+        np.testing.assert_allclose(b.grad, [1.0, 2.0, 3.0])
+
+    def test_sub_and_neg_gradient(self):
+        a = tensor([1.0, 2.0], requires_grad=True)
+        b = tensor([3.0, 5.0], requires_grad=True)
+        (a - b).sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0, 1.0])
+        np.testing.assert_allclose(b.grad, [-1.0, -1.0])
+
+    def test_div_gradient(self):
+        a = tensor([2.0, 4.0], requires_grad=True)
+        b = tensor([4.0, 8.0], requires_grad=True)
+        (a / b).sum().backward()
+        np.testing.assert_allclose(a.grad, [0.25, 0.125])
+        np.testing.assert_allclose(b.grad, [-2.0 / 16.0, -4.0 / 64.0])
+
+    def test_pow_gradient(self):
+        a = tensor([2.0, 3.0], requires_grad=True)
+        (a ** 3).sum().backward()
+        np.testing.assert_allclose(a.grad, [12.0, 27.0])
+
+    def test_radd_rmul_rsub_rdiv(self):
+        a = tensor([2.0, 4.0], requires_grad=True)
+        out = (1.0 + a) * 2.0
+        out = (10.0 - out) / 2.0
+        out = 8.0 / (a + 2.0) + out
+        out.sum().backward()
+        assert a.grad is not None
+        assert a.grad.shape == (2,)
+
+    def test_broadcasting_unbroadcasts_gradient(self):
+        a = tensor(np.ones((3, 4)), requires_grad=True)
+        b = tensor(np.ones(4), requires_grad=True)
+        (a + b).sum().backward()
+        assert a.grad.shape == (3, 4)
+        assert b.grad.shape == (4,)
+        np.testing.assert_allclose(b.grad, np.full(4, 3.0))
+
+    def test_scalar_broadcast_gradient(self):
+        a = tensor(np.ones((2, 3)), requires_grad=True)
+        b = tensor(2.0, requires_grad=True)
+        (a * b).sum().backward()
+        assert b.grad.shape == ()
+        assert float(b.grad) == pytest.approx(6.0)
+
+
+class TestMatmul:
+    def test_matmul_forward(self):
+        a = tensor([[1.0, 2.0], [3.0, 4.0]])
+        b = tensor([[5.0, 6.0], [7.0, 8.0]])
+        np.testing.assert_allclose((a @ b).numpy(), np.array([[19., 22.], [43., 50.]]))
+
+    def test_matmul_gradient_matches_numerical(self):
+        rng = np.random.default_rng(0)
+        a_data = rng.normal(size=(3, 4))
+        b_data = rng.normal(size=(4, 2))
+        a = tensor(a_data.copy(), requires_grad=True)
+        b = tensor(b_data.copy(), requires_grad=True)
+        (a @ b).sum().backward()
+
+        num_a = numerical_gradient(lambda x: float((x @ b_data).sum()), a_data.copy())
+        num_b = numerical_gradient(lambda x: float((a_data @ x).sum()), b_data.copy())
+        np.testing.assert_allclose(a.grad, num_a, atol=1e-5)
+        np.testing.assert_allclose(b.grad, num_b, atol=1e-5)
+
+
+class TestElementwiseFunctions:
+    @pytest.mark.parametrize("op,deriv", [
+        ("exp", lambda x: np.exp(x)),
+        ("tanh", lambda x: 1 - np.tanh(x) ** 2),
+        ("sigmoid", lambda x: (1 / (1 + np.exp(-x))) * (1 - 1 / (1 + np.exp(-x)))),
+    ])
+    def test_unary_gradients(self, op, deriv):
+        x_data = np.array([-1.0, 0.5, 2.0])
+        x = tensor(x_data.copy(), requires_grad=True)
+        getattr(x, op)().sum().backward()
+        np.testing.assert_allclose(x.grad, deriv(x_data), atol=1e-8)
+
+    def test_log_gradient(self):
+        x = tensor([1.0, 2.0, 4.0], requires_grad=True)
+        x.log().sum().backward()
+        np.testing.assert_allclose(x.grad, [1.0, 0.5, 0.25])
+
+    def test_relu_gradient_zero_for_negative(self):
+        x = tensor([-2.0, 3.0], requires_grad=True)
+        x.relu().sum().backward()
+        np.testing.assert_allclose(x.grad, [0.0, 1.0])
+
+    def test_leaky_relu_gradient(self):
+        x = tensor([-2.0, 3.0], requires_grad=True)
+        x.leaky_relu(0.1).sum().backward()
+        np.testing.assert_allclose(x.grad, [0.1, 1.0])
+
+    def test_elu_forward_and_gradient(self):
+        x = tensor([-1.0, 2.0], requires_grad=True)
+        out = x.elu(1.0)
+        np.testing.assert_allclose(out.numpy(), [np.exp(-1) - 1, 2.0])
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad, [np.exp(-1), 1.0])
+
+    def test_abs_gradient(self):
+        x = tensor([-3.0, 2.0], requires_grad=True)
+        x.abs().sum().backward()
+        np.testing.assert_allclose(x.grad, [-1.0, 1.0])
+
+    def test_clip_gradient_masks_out_of_range(self):
+        x = tensor([-5.0, 0.5, 5.0], requires_grad=True)
+        x.clip(-1.0, 1.0).sum().backward()
+        np.testing.assert_allclose(x.grad, [0.0, 1.0, 0.0])
+
+    def test_sqrt(self):
+        x = tensor([4.0, 9.0], requires_grad=True)
+        out = x.sqrt()
+        np.testing.assert_allclose(out.numpy(), [2.0, 3.0])
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad, [0.25, 1.0 / 6.0])
+
+
+class TestReductions:
+    def test_sum_all(self):
+        x = tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        x.sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones((2, 3)))
+
+    def test_sum_axis_keepdims(self):
+        x = tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        out = x.sum(axis=1, keepdims=True)
+        assert out.shape == (2, 1)
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones((2, 3)))
+
+    def test_mean_gradient(self):
+        x = tensor(np.ones((2, 4)), requires_grad=True)
+        x.mean().backward()
+        np.testing.assert_allclose(x.grad, np.full((2, 4), 1.0 / 8.0))
+
+    def test_mean_axis(self):
+        x = tensor(np.arange(6.0).reshape(2, 3))
+        np.testing.assert_allclose(x.mean(axis=0).numpy(), [1.5, 2.5, 3.5])
+
+    def test_max_all_gradient_spreads_across_ties(self):
+        x = tensor([1.0, 3.0, 3.0], requires_grad=True)
+        x.max().backward()
+        np.testing.assert_allclose(x.grad, [0.0, 0.5, 0.5])
+
+    def test_max_axis(self):
+        x = tensor(np.array([[1.0, 5.0], [7.0, 2.0]]), requires_grad=True)
+        out = x.max(axis=1)
+        np.testing.assert_allclose(out.numpy(), [5.0, 7.0])
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad, [[0.0, 1.0], [1.0, 0.0]])
+
+
+class TestShapeOps:
+    def test_reshape_roundtrip_gradient(self):
+        x = tensor(np.arange(6.0), requires_grad=True)
+        x.reshape(2, 3).sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones(6))
+
+    def test_flatten(self):
+        x = tensor(np.ones((2, 3, 4)))
+        assert x.flatten().shape == (24,)
+
+    def test_transpose_gradient(self):
+        x = tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        x.transpose().sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones((2, 3)))
+
+    def test_transpose_with_axes(self):
+        x = tensor(np.arange(24.0).reshape(2, 3, 4), requires_grad=True)
+        out = x.transpose(0, 2, 1)
+        assert out.shape == (2, 4, 3)
+        out.sum().backward()
+        assert x.grad.shape == (2, 3, 4)
+
+    def test_getitem_gradient_scatters(self):
+        x = tensor(np.arange(5.0), requires_grad=True)
+        x[1:4].sum().backward()
+        np.testing.assert_allclose(x.grad, [0.0, 1.0, 1.0, 1.0, 0.0])
+
+    def test_getitem_fancy_indexing(self):
+        x = tensor(np.arange(12.0).reshape(3, 4), requires_grad=True)
+        out = x[np.array([0, 2]), np.array([1, 3])]
+        np.testing.assert_allclose(out.numpy(), [1.0, 11.0])
+        out.sum().backward()
+        assert x.grad[0, 1] == 1.0 and x.grad[2, 3] == 1.0
+        assert x.grad.sum() == 2.0
+
+
+class TestSoftmax:
+    def test_softmax_sums_to_one(self):
+        x = tensor(np.random.default_rng(0).normal(size=(4, 6)))
+        probs = x.softmax(axis=-1).numpy()
+        np.testing.assert_allclose(probs.sum(axis=-1), np.ones(4), atol=1e-12)
+        assert np.all(probs >= 0)
+
+    def test_softmax_stability_with_large_logits(self):
+        x = tensor([[1000.0, 1000.0, 999.0]])
+        probs = x.softmax().numpy()
+        assert np.all(np.isfinite(probs))
+        np.testing.assert_allclose(probs.sum(), 1.0)
+
+    def test_log_softmax_matches_log_of_softmax(self):
+        data = np.random.default_rng(1).normal(size=(3, 5))
+        x = tensor(data)
+        np.testing.assert_allclose(x.log_softmax().numpy(),
+                                   np.log(x.softmax().numpy()), atol=1e-10)
+
+    def test_softmax_gradient_matches_numerical(self):
+        data = np.random.default_rng(2).normal(size=(2, 4))
+        x = tensor(data.copy(), requires_grad=True)
+        weights = np.random.default_rng(3).normal(size=(2, 4))
+        (x.softmax() * tensor(weights)).sum().backward()
+
+        def objective(arr):
+            shifted = arr - arr.max(axis=-1, keepdims=True)
+            probs = np.exp(shifted) / np.exp(shifted).sum(axis=-1, keepdims=True)
+            return float((probs * weights).sum())
+
+        numerical = numerical_gradient(objective, data.copy())
+        np.testing.assert_allclose(x.grad, numerical, atol=1e-5)
+
+    def test_log_softmax_gradient_matches_numerical(self):
+        data = np.random.default_rng(4).normal(size=(2, 3))
+        x = tensor(data.copy(), requires_grad=True)
+        x.log_softmax().sum().backward()
+
+        def objective(arr):
+            shifted = arr - arr.max(axis=-1, keepdims=True)
+            log_probs = shifted - np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+            return float(log_probs.sum())
+
+        numerical = numerical_gradient(objective, data.copy())
+        np.testing.assert_allclose(x.grad, numerical, atol=1e-5)
+
+
+class TestConcatenateStack:
+    def test_concatenate_forward_and_gradient(self):
+        a = tensor(np.ones((2, 3)), requires_grad=True)
+        b = tensor(np.full((2, 2), 2.0), requires_grad=True)
+        out = concatenate([a, b], axis=1)
+        assert out.shape == (2, 5)
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((2, 3)))
+        np.testing.assert_allclose(b.grad, np.ones((2, 2)))
+
+    def test_stack_forward_and_gradient(self):
+        a = tensor([1.0, 2.0], requires_grad=True)
+        b = tensor([3.0, 4.0], requires_grad=True)
+        out = stack([a, b], axis=0)
+        assert out.shape == (2, 2)
+        (out * tensor([[1.0, 2.0], [3.0, 4.0]])).sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0, 2.0])
+        np.testing.assert_allclose(b.grad, [3.0, 4.0])
+
+
+class TestGraphBehaviour:
+    def test_gradient_accumulates_when_tensor_reused(self):
+        x = tensor([2.0], requires_grad=True)
+        y = x * 3 + x * 4
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, [7.0])
+
+    def test_zero_grad_clears(self):
+        x = tensor([2.0], requires_grad=True)
+        (x * 2).sum().backward()
+        assert x.grad is not None
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_no_grad_context_disables_tracking(self):
+        x = tensor([1.0], requires_grad=True)
+        with no_grad():
+            y = x * 5
+        assert not y.requires_grad
+
+    def test_no_grad_restores_state(self):
+        assert nn.is_grad_enabled()
+        with no_grad():
+            assert not nn.is_grad_enabled()
+        assert nn.is_grad_enabled()
+
+    def test_deep_chain_backward(self):
+        x = tensor([1.0], requires_grad=True)
+        y = x
+        for _ in range(200):
+            y = y * 1.01
+        y.sum().backward()
+        assert x.grad is not None
+        assert x.grad[0] == pytest.approx(1.01 ** 200, rel=1e-6)
+
+    def test_diamond_graph_gradient(self):
+        x = tensor([3.0], requires_grad=True)
+        a = x * 2
+        b = x * 5
+        (a * b).sum().backward()
+        # d/dx (2x * 5x) = 20x = 60
+        np.testing.assert_allclose(x.grad, [60.0])

@@ -1,0 +1,208 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import nn
+from repro.abr import LinearQoE, STANDARD_LADDER_KBPS, synthetic_video
+from repro.abr.env import ChunkLevelSimulator, SimulatorConfig
+from repro.core.early_stopping import (
+    prepare_reward_prefix,
+    top_fraction_labels,
+    tune_threshold_zero_fnr,
+    classification_rates,
+)
+from repro.llm import HashingEmbedder
+from repro.rl import discounted_returns
+from repro.traces import Trace
+
+
+COMMON_SETTINGS = settings(max_examples=40, deadline=None,
+                           suppress_health_check=[HealthCheck.too_slow])
+
+
+finite_floats = st.floats(min_value=-1e6, max_value=1e6,
+                          allow_nan=False, allow_infinity=False)
+small_floats = st.floats(min_value=-100.0, max_value=100.0,
+                         allow_nan=False, allow_infinity=False)
+
+
+class TestTensorProperties:
+    @COMMON_SETTINGS
+    @given(st.lists(small_floats, min_size=1, max_size=30))
+    def test_softmax_is_a_distribution(self, values):
+        probs = nn.tensor(np.array(values)).softmax().numpy()
+        assert np.all(probs >= 0)
+        assert probs.sum() == pytest.approx(1.0, abs=1e-9)
+
+    @COMMON_SETTINGS
+    @given(st.lists(small_floats, min_size=2, max_size=20),
+           st.lists(small_floats, min_size=2, max_size=20))
+    def test_addition_is_commutative(self, a_values, b_values):
+        n = min(len(a_values), len(b_values))
+        a = nn.tensor(np.array(a_values[:n]))
+        b = nn.tensor(np.array(b_values[:n]))
+        np.testing.assert_allclose((a + b).numpy(), (b + a).numpy())
+
+    @COMMON_SETTINGS
+    @given(st.lists(small_floats, min_size=1, max_size=20))
+    def test_sum_gradient_is_ones(self, values):
+        x = nn.tensor(np.array(values), requires_grad=True)
+        x.sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones(len(values)))
+
+    @COMMON_SETTINGS
+    @given(st.lists(st.floats(min_value=0.1, max_value=50.0), min_size=1, max_size=16))
+    def test_log_exp_roundtrip(self, values):
+        x = nn.tensor(np.array(values))
+        np.testing.assert_allclose(x.log().exp().numpy(), np.array(values),
+                                   rtol=1e-9)
+
+    @COMMON_SETTINGS
+    @given(st.integers(min_value=1, max_value=5), st.integers(min_value=1, max_value=5))
+    def test_reshape_preserves_contents(self, rows, cols):
+        data = np.arange(float(rows * cols))
+        x = nn.tensor(data)
+        reshaped = x.reshape(rows, cols)
+        np.testing.assert_allclose(reshaped.numpy().ravel(), data)
+
+
+class TestTraceProperties:
+    @COMMON_SETTINGS
+    @given(st.lists(st.floats(min_value=0.01, max_value=200.0), min_size=2,
+                    max_size=50),
+           st.floats(min_value=0.1, max_value=10.0))
+    def test_throughput_at_returns_existing_sample(self, throughputs, interval):
+        timestamps = np.arange(len(throughputs)) * interval
+        trace = Trace(timestamps, np.array(throughputs))
+        for t in np.linspace(0, 3 * trace.duration_s, 7):
+            assert trace.throughput_at(t) in throughputs
+
+    @COMMON_SETTINGS
+    @given(st.lists(st.floats(min_value=0.01, max_value=200.0), min_size=2,
+                    max_size=30),
+           st.floats(min_value=0.1, max_value=8.0))
+    def test_scaling_scales_mean(self, throughputs, factor):
+        timestamps = np.arange(len(throughputs), dtype=float)
+        trace = Trace(timestamps, np.array(throughputs))
+        scaled = trace.scaled(factor)
+        assert scaled.mean_throughput_mbps == pytest.approx(
+            trace.mean_throughput_mbps * factor, rel=1e-9)
+
+    @COMMON_SETTINGS
+    @given(st.lists(st.floats(min_value=0.05, max_value=100.0), min_size=2,
+                    max_size=30))
+    def test_mean_between_min_and_max(self, throughputs):
+        trace = Trace(np.arange(len(throughputs), dtype=float),
+                      np.array(throughputs))
+        assert trace.min_throughput_mbps <= trace.mean_throughput_mbps \
+            <= trace.max_throughput_mbps
+
+
+class TestQoEProperties:
+    @COMMON_SETTINGS
+    @given(st.integers(min_value=0, max_value=5),
+           st.integers(min_value=0, max_value=5),
+           st.floats(min_value=0.0, max_value=30.0))
+    def test_reward_decreases_with_rebuffering(self, bitrate, previous, rebuffer):
+        qoe = LinearQoE(STANDARD_LADDER_KBPS)
+        clean = qoe.chunk_reward(bitrate, 0.0, previous)
+        stalled = qoe.chunk_reward(bitrate, rebuffer, previous)
+        assert stalled <= clean + 1e-12
+
+    @COMMON_SETTINGS
+    @given(st.integers(min_value=0, max_value=5))
+    def test_no_switch_has_no_smoothness_penalty(self, bitrate):
+        qoe = LinearQoE(STANDARD_LADDER_KBPS)
+        detail = qoe.chunk_reward_detail(bitrate, 0.0, bitrate)
+        assert detail.smoothness_penalty == 0.0
+
+    @COMMON_SETTINGS
+    @given(st.integers(min_value=0, max_value=4))
+    def test_higher_bitrate_higher_quality(self, bitrate):
+        qoe = LinearQoE(STANDARD_LADDER_KBPS)
+        assert qoe.quality(bitrate + 1) > qoe.quality(bitrate)
+
+
+class TestSimulatorProperties:
+    @COMMON_SETTINGS
+    @given(st.floats(min_value=0.3, max_value=50.0),
+           st.integers(min_value=0, max_value=5))
+    def test_chunk_accounting_invariants(self, bandwidth, bitrate):
+        video = synthetic_video("standard", num_chunks=4, seed=0)
+        trace = Trace(np.arange(0.0, 100.0, 1.0), np.full(100, bandwidth))
+        sim = ChunkLevelSimulator(video, trace, config=SimulatorConfig())
+        result = sim.step(bitrate)
+        assert result.download_time_s > 0
+        assert result.rebuffer_s >= 0
+        assert result.buffer_s >= 0
+        assert result.remaining_chunks == video.num_chunks - 1
+        # Rebuffering can never exceed the download time itself.
+        assert result.rebuffer_s <= result.download_time_s + 1e-9
+
+
+class TestRLProperties:
+    @COMMON_SETTINGS
+    @given(st.lists(small_floats, min_size=1, max_size=30),
+           st.floats(min_value=0.0, max_value=0.999))
+    def test_discounted_returns_recurrence(self, rewards, gamma):
+        returns = discounted_returns(rewards, gamma)
+        for t in range(len(rewards) - 1):
+            assert returns[t] == pytest.approx(rewards[t] + gamma * returns[t + 1],
+                                               rel=1e-9, abs=1e-9)
+
+    @COMMON_SETTINGS
+    @given(st.lists(st.floats(min_value=0.0, max_value=10.0), min_size=1,
+                    max_size=30))
+    def test_nonnegative_rewards_give_nonnegative_returns(self, rewards):
+        returns = discounted_returns(rewards, 0.9)
+        assert np.all(returns >= 0)
+
+
+class TestEarlyStoppingProperties:
+    @COMMON_SETTINGS
+    @given(st.lists(finite_floats, min_size=0, max_size=30),
+           st.integers(min_value=1, max_value=20))
+    def test_prepare_reward_prefix_length(self, rewards, length):
+        prefix = prepare_reward_prefix(rewards, length)
+        assert prefix.shape == (length,)
+        assert np.all(np.isfinite(prefix))
+
+    @COMMON_SETTINGS
+    @given(st.lists(finite_floats, min_size=1, max_size=200),
+           st.floats(min_value=0.01, max_value=1.0))
+    def test_top_fraction_labels_invariants(self, scores, fraction):
+        labels = top_fraction_labels(scores, fraction)
+        assert labels.shape == (len(scores),)
+        assert 1 <= labels.sum() <= len(scores)
+        # Every positive has a score >= every negative's score.
+        scores_arr = np.asarray(scores)
+        if labels.sum() < len(scores):
+            assert scores_arr[labels == 1].min() >= scores_arr[labels == 0].max() - 1e-9
+
+    @COMMON_SETTINGS
+    @given(st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=2,
+                    max_size=100))
+    def test_tuned_threshold_always_gives_zero_fnr(self, scores):
+        scores_arr = np.asarray(scores)
+        labels = top_fraction_labels(scores_arr, 0.2)
+        threshold = tune_threshold_zero_fnr(scores_arr, labels)
+        rates = classification_rates(scores_arr, labels, threshold)
+        assert rates["false_negative_rate"] == 0.0
+
+
+class TestEmbeddingProperties:
+    @COMMON_SETTINGS
+    @given(st.text(min_size=1, max_size=300))
+    def test_embedding_norm_at_most_one(self, text):
+        vector = HashingEmbedder(dimension=64).embed(text)
+        norm = np.linalg.norm(vector)
+        assert norm == pytest.approx(1.0, abs=1e-9) or norm == 0.0
+
+    @COMMON_SETTINGS
+    @given(st.text(min_size=1, max_size=200))
+    def test_embedding_deterministic(self, text):
+        embedder = HashingEmbedder(dimension=32)
+        np.testing.assert_array_equal(embedder.embed(text), embedder.embed(text))

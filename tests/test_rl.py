@@ -1,0 +1,230 @@
+"""Tests for the RL substrate: policies, rollouts, schedules and the A2C trainer."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.abr import LinearQoE, StreamingSession, synthetic_video
+from repro.rl import (
+    A2CConfig,
+    A2CTrainer,
+    ABRAgent,
+    ConstantSchedule,
+    ExponentialDecaySchedule,
+    LinearSchedule,
+    Trajectory,
+    action_entropy,
+    collect_episode,
+    discounted_returns,
+    evaluate_agent,
+    greedy_action,
+    log_prob_of,
+    sample_action,
+)
+from repro.traces import TraceSet, generate_fcc_trace
+
+
+@pytest.fixture
+def tiny_agent(small_video, sample_observation):
+    return ABRAgent.original(sample_observation, small_video.num_bitrates,
+                             rng=np.random.default_rng(0))
+
+
+class TestPolicyUtilities:
+    def test_sample_action_respects_distribution(self):
+        rng = np.random.default_rng(0)
+        probs = np.array([0.0, 0.0, 1.0, 0.0])
+        assert all(sample_action(probs, rng) == 2 for _ in range(10))
+
+    def test_sample_action_handles_degenerate_input(self):
+        rng = np.random.default_rng(0)
+        actions = {sample_action(np.zeros(4), rng) for _ in range(50)}
+        assert actions.issubset({0, 1, 2, 3})
+        assert len(actions) > 1  # falls back to uniform
+
+    def test_sample_action_renormalizes(self):
+        rng = np.random.default_rng(0)
+        probs = np.array([0.5, 0.5, 0.5, 0.5])  # not normalized
+        counts = np.bincount([sample_action(probs, rng) for _ in range(200)],
+                             minlength=4)
+        assert np.all(counts > 0)
+
+    def test_greedy_action(self):
+        assert greedy_action(np.array([0.1, 0.7, 0.2])) == 1
+
+    def test_log_prob_of_selects_action_entries(self):
+        logits = nn.tensor(np.log(np.array([[0.2, 0.8], [0.5, 0.5]])))
+        log_probs = log_prob_of(logits, np.array([1, 0]))
+        np.testing.assert_allclose(log_probs.numpy(),
+                                   np.log([0.8, 0.5]), atol=1e-10)
+
+    def test_action_entropy_uniform_is_maximal(self):
+        uniform = nn.tensor(np.zeros((1, 4)))
+        peaked = nn.tensor(np.array([[10.0, 0.0, 0.0, 0.0]]))
+        assert action_entropy(uniform).item() > action_entropy(peaked).item()
+
+
+class TestSchedules:
+    def test_constant(self):
+        schedule = ConstantSchedule(0.5)
+        assert schedule(0) == schedule(1000) == 0.5
+
+    def test_linear_interpolation_and_clamp(self):
+        schedule = LinearSchedule(1.0, 0.1, 100)
+        assert schedule(0) == pytest.approx(1.0)
+        assert schedule(50) == pytest.approx(0.55)
+        assert schedule(100) == pytest.approx(0.1)
+        assert schedule(10_000) == pytest.approx(0.1)
+
+    def test_linear_invalid_duration(self):
+        with pytest.raises(ValueError):
+            LinearSchedule(1.0, 0.0, 0)
+
+    def test_exponential_decay_with_floor(self):
+        schedule = ExponentialDecaySchedule(1.0, 0.5, period=1, floor=0.2)
+        assert schedule(0) == pytest.approx(1.0)
+        assert schedule(1) == pytest.approx(0.5)
+        assert schedule(10) == pytest.approx(0.2)
+
+    def test_exponential_invalid_params(self):
+        with pytest.raises(ValueError):
+            ExponentialDecaySchedule(1.0, 1.5)
+        with pytest.raises(ValueError):
+            ExponentialDecaySchedule(1.0, 0.5, period=0)
+
+
+class TestDiscountedReturns:
+    def test_gamma_zero_returns_rewards(self):
+        returns = discounted_returns([1.0, 2.0, 3.0], gamma=0.0)
+        np.testing.assert_allclose(returns, [1.0, 2.0, 3.0])
+
+    def test_gamma_one_returns_suffix_sums(self):
+        returns = discounted_returns([1.0, 2.0, 3.0], gamma=1.0)
+        np.testing.assert_allclose(returns, [6.0, 5.0, 3.0])
+
+    def test_bootstrap_value(self):
+        returns = discounted_returns([1.0], gamma=0.5, bootstrap_value=10.0)
+        np.testing.assert_allclose(returns, [6.0])
+
+    def test_empty(self):
+        assert discounted_returns([], gamma=0.9).size == 0
+
+
+class TestAgent:
+    def test_act_returns_valid_index(self, tiny_agent, sample_observation, small_video):
+        for greedy in (False, True):
+            action = tiny_agent.act(sample_observation, greedy=greedy)
+            assert 0 <= action < small_video.num_bitrates
+
+    def test_greedy_policy_is_deterministic(self, tiny_agent, sample_observation):
+        policy = tiny_agent.greedy_policy()
+        assert policy(sample_observation) == policy(sample_observation)
+
+    def test_act_with_state_returns_features(self, tiny_agent, sample_observation):
+        action, state = tiny_agent.act_with_state(sample_observation)
+        assert state.shape == (6, 8)
+        assert isinstance(action, int)
+
+    def test_from_builder_rejects_non_network(self, sample_observation):
+        from repro.abr import StateFunction
+
+        def bad_builder(shape, actions, rng=None):
+            return "not a network"
+
+        with pytest.raises(TypeError):
+            ABRAgent.from_builder(StateFunction.original(), bad_builder,
+                                  sample_observation, 6)
+
+    def test_seed_controls_sampling(self, tiny_agent, sample_observation):
+        tiny_agent.seed(1)
+        first = [tiny_agent.act(sample_observation) for _ in range(10)]
+        tiny_agent.seed(1)
+        second = [tiny_agent.act(sample_observation) for _ in range(10)]
+        assert first == second
+
+
+class TestRollout:
+    def test_collect_episode_lengths_match(self, tiny_agent, small_video, flat_trace):
+        trajectory = collect_episode(tiny_agent, small_video, flat_trace)
+        assert len(trajectory) == small_video.num_chunks
+        assert len(trajectory.states) == len(trajectory.actions) == len(trajectory.rewards)
+        assert trajectory.session is not None
+        assert trajectory.session.num_chunks == small_video.num_chunks
+
+    def test_trajectory_aggregates(self, tiny_agent, small_video, flat_trace):
+        trajectory = collect_episode(tiny_agent, small_video, flat_trace)
+        assert trajectory.total_reward == pytest.approx(sum(trajectory.rewards))
+        assert trajectory.mean_reward == pytest.approx(
+            trajectory.total_reward / len(trajectory))
+        stacked = trajectory.stacked_states()
+        assert stacked.shape == (small_video.num_chunks, 6, 8)
+
+    def test_empty_trajectory_properties(self):
+        trajectory = Trajectory()
+        assert trajectory.total_reward == 0.0
+        assert trajectory.mean_reward == 0.0
+
+
+class TestA2CTrainer:
+    def _build(self, video, traces, epochs=15, seed=0):
+        session = StreamingSession(video, traces[0])
+        agent = ABRAgent.original(session.observe(), video.num_bitrates,
+                                  rng=np.random.default_rng(seed))
+        config = A2CConfig(entropy_anneal_epochs=epochs)
+        return A2CTrainer(agent, video, traces, config=config, seed=seed)
+
+    def test_train_epoch_returns_stats(self, small_video, fcc_traceset):
+        trainer = self._build(small_video, fcc_traceset)
+        stats = trainer.train_epoch()
+        assert stats.epoch == 0
+        assert np.isfinite(stats.actor_loss)
+        assert np.isfinite(stats.critic_loss)
+        assert stats.entropy >= 0.0
+        assert stats.grad_norm >= 0.0
+        assert stats.trace_name.startswith("fcc")
+
+    def test_train_accumulates_history(self, small_video, fcc_traceset):
+        trainer = self._build(small_video, fcc_traceset)
+        trainer.train(5)
+        assert trainer.epoch == 5
+        assert len(trainer.history) == 5
+        assert len(trainer.reward_history) == 5
+
+    def test_callback_invoked(self, small_video, fcc_traceset):
+        trainer = self._build(small_video, fcc_traceset)
+        seen = []
+        trainer.train(3, callback=lambda s: seen.append(s.epoch))
+        assert seen == [0, 1, 2]
+
+    def test_training_is_seed_reproducible(self, small_video, fcc_traceset):
+        rewards_a = self._build(small_video, fcc_traceset, seed=7).train(4)
+        rewards_b = self._build(small_video, fcc_traceset, seed=7).train(4)
+        np.testing.assert_allclose([s.episode_reward for s in rewards_a],
+                                   [s.episode_reward for s in rewards_b])
+
+    def test_unknown_optimizer_rejected(self, small_video, fcc_traceset):
+        session = StreamingSession(small_video, fcc_traceset[0])
+        agent = ABRAgent.original(session.observe(), small_video.num_bitrates)
+        with pytest.raises(ValueError):
+            A2CTrainer(agent, small_video, fcc_traceset,
+                       config=A2CConfig(optimizer="adagrad"))
+
+    def test_training_beats_worst_fixed_policy(self, small_video):
+        # On a stable 3 Mbps link the trained policy must at least avoid the
+        # catastrophic always-highest-bitrate behaviour (constant rebuffering).
+        from repro.abr import FixedBitratePolicy, run_session
+
+        traces = TraceSet([generate_fcc_trace(duration_s=200, seed=i, mean_mbps=3.0)
+                           for i in range(2)], name="train")
+        test = TraceSet([generate_fcc_trace(duration_s=200, seed=50, mean_mbps=3.0)],
+                        name="test")
+        trainer = self._build(small_video, traces, epochs=40, seed=3)
+        trainer.train(40)
+        after = evaluate_agent(trainer.agent, small_video, test, seed=0)
+        worst = np.mean([run_session(FixedBitratePolicy(5), small_video, t).mean_reward
+                         for t in test])
+        assert after > worst
+
+    def test_evaluate_agent_uses_all_traces(self, small_video, fcc_traceset, tiny_agent):
+        score = evaluate_agent(tiny_agent, small_video, fcc_traceset, seed=0)
+        assert np.isfinite(score)

@@ -1,0 +1,254 @@
+"""Tests for the trace data structures, synthetic generators and loaders."""
+
+import numpy as np
+import pytest
+
+from repro.traces import (
+    ENVIRONMENTS,
+    PAPER_TABLE1,
+    STARLINK_PEAK_HOUR_CAPACITY_FACTOR,
+    Trace,
+    TraceSet,
+    build_dataset,
+    compute_dataset_stats,
+    fcc_dataset,
+    generate_4g_trace,
+    generate_5g_trace,
+    generate_fcc_trace,
+    generate_starlink_trace,
+    list_environments,
+    load_mahimahi_format,
+    load_pensieve_format,
+    load_traceset,
+    lte_dataset,
+    nr5g_dataset,
+    save_mahimahi_format,
+    save_pensieve_format,
+    save_traceset,
+    starlink_dataset,
+)
+
+
+class TestTrace:
+    def test_basic_properties(self):
+        trace = Trace([0.0, 1.0, 2.0, 3.0], [1.0, 2.0, 3.0, 4.0], name="t")
+        assert len(trace) == 4
+        assert trace.duration_s == pytest.approx(3.0)
+        assert trace.min_throughput_mbps == 1.0
+        assert trace.max_throughput_mbps == 4.0
+        assert trace.mean_throughput_mbps == pytest.approx(2.0)  # samples 1,2,3 weighted
+
+    def test_validation_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            Trace([0.0], [1.0])  # too short
+        with pytest.raises(ValueError):
+            Trace([0.0, 1.0], [1.0])  # length mismatch
+        with pytest.raises(ValueError):
+            Trace([0.0, 0.0], [1.0, 1.0])  # non-increasing timestamps
+        with pytest.raises(ValueError):
+            Trace([0.0, 1.0], [1.0, -1.0])  # negative throughput
+        with pytest.raises(ValueError):
+            Trace(np.zeros((2, 2)), np.zeros((2, 2)))  # wrong dimensionality
+
+    def test_throughput_at_and_wraparound(self):
+        trace = Trace([0.0, 10.0, 20.0], [1.0, 5.0, 9.0])
+        assert trace.throughput_at(0.0) == 1.0
+        assert trace.throughput_at(10.5) == 5.0
+        # Beyond the end the trace repeats cyclically.
+        assert trace.throughput_at(20.0 + 0.5) == 1.0
+        assert trace.throughput_at(20.0 + 10.5) == 5.0
+
+    def test_iter_segments(self):
+        trace = Trace([0.0, 2.0, 5.0], [1.0, 2.0, 3.0])
+        segments = list(trace.iter_segments())
+        assert segments == [(0.0, 2.0, 1.0), (2.0, 3.0, 2.0)]
+
+    def test_scaled(self):
+        trace = Trace([0.0, 1.0], [8.0, 8.0])
+        scaled = trace.scaled(0.125)
+        assert scaled.max_throughput_mbps == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            trace.scaled(0.0)
+
+    def test_sliced(self):
+        trace = Trace(np.arange(0.0, 100.0, 1.0), np.arange(100.0) + 1.0)
+        part = trace.sliced(10.0, 20.0)
+        assert part.timestamps_s[0] == pytest.approx(0.0)
+        assert part.duration_s == pytest.approx(10.0)
+        with pytest.raises(ValueError):
+            trace.sliced(20.0, 10.0)
+
+    def test_resampled_uniform_grid(self):
+        trace = Trace([0.0, 1.0, 10.0], [1.0, 2.0, 3.0])
+        resampled = trace.resampled(2.0)
+        assert np.allclose(np.diff(resampled.timestamps_s), 2.0)
+        with pytest.raises(ValueError):
+            trace.resampled(0.0)
+
+    def test_with_name(self):
+        trace = Trace([0.0, 1.0], [1.0, 1.0]).with_name("renamed")
+        assert trace.name == "renamed"
+
+
+class TestTraceSet:
+    def _make(self, n=4):
+        return TraceSet([Trace([0.0, 60.0], [float(i + 1), float(i + 1)],
+                               name=f"t{i}") for i in range(n)], name="set")
+
+    def test_len_iter_getitem(self):
+        ts = self._make()
+        assert len(ts) == 4
+        assert ts[0].name == "t0"
+        assert len(list(ts)) == 4
+
+    def test_requires_at_least_one_trace(self):
+        with pytest.raises(ValueError):
+            TraceSet([])
+
+    def test_total_hours(self):
+        ts = self._make(6)
+        assert ts.total_hours == pytest.approx(6 * 60.0 / 3600.0)
+
+    def test_mean_throughput_weighted(self):
+        ts = self._make(3)  # throughputs 1, 2, 3 with equal duration
+        assert ts.mean_throughput_mbps == pytest.approx(2.0)
+
+    def test_sample_is_member(self, rng):
+        ts = self._make()
+        assert ts.sample(rng) in list(ts)
+
+    def test_split_fractions(self, rng):
+        ts = self._make(10)
+        train, test = ts.split(0.7, rng)
+        assert len(train) == 7 and len(test) == 3
+        with pytest.raises(ValueError):
+            ts.split(1.5)
+
+    def test_scaled(self):
+        ts = self._make(2).scaled(2.0)
+        assert ts[0].max_throughput_mbps == pytest.approx(2.0)
+
+
+class TestSyntheticGenerators:
+    @pytest.mark.parametrize("generator,target_mean,tolerance", [
+        (generate_fcc_trace, 1.3, 0.6),
+        (generate_4g_trace, 19.8, 10.0),
+        (generate_5g_trace, 30.2, 18.0),
+    ])
+    def test_mean_throughput_in_range(self, generator, target_mean, tolerance):
+        means = [generator(duration_s=600, seed=i).mean_throughput_mbps
+                 for i in range(5)]
+        assert abs(np.mean(means) - target_mean) < tolerance
+
+    def test_starlink_peak_hour_reduction(self):
+        full = generate_starlink_trace(duration_s=400, seed=0,
+                                       apply_peak_hour_reduction=False)
+        reduced = generate_starlink_trace(duration_s=400, seed=0,
+                                          apply_peak_hour_reduction=True)
+        ratio = reduced.mean_throughput_mbps / full.mean_throughput_mbps
+        assert ratio == pytest.approx(STARLINK_PEAK_HOUR_CAPACITY_FACTOR, rel=1e-6)
+
+    def test_generators_are_deterministic_per_seed(self):
+        a = generate_fcc_trace(seed=42)
+        b = generate_fcc_trace(seed=42)
+        np.testing.assert_array_equal(a.throughputs_mbps, b.throughputs_mbps)
+        c = generate_fcc_trace(seed=43)
+        assert not np.array_equal(a.throughputs_mbps, c.throughputs_mbps)
+
+    def test_all_generators_nonnegative(self):
+        for generator in (generate_fcc_trace, generate_starlink_trace,
+                          generate_4g_trace, generate_5g_trace):
+            trace = generator(duration_s=300, seed=1)
+            assert np.all(trace.throughputs_mbps >= 0)
+
+    def test_5g_more_variable_than_fcc(self):
+        fcc = generate_fcc_trace(duration_s=600, seed=0)
+        nr = generate_5g_trace(duration_s=600, seed=0)
+        assert nr.std_throughput_mbps > fcc.std_throughput_mbps
+
+
+class TestDatasetBuilders:
+    def test_scaled_down_counts(self):
+        train, test = fcc_dataset(seed=0, scale=0.05)
+        spec = PAPER_TABLE1["fcc"]
+        assert len(train) == max(1, round(spec.train_traces * 0.05))
+        assert len(test) == max(1, round(spec.test_traces * 0.05))
+
+    def test_full_scale_counts_match_table1(self):
+        # Only check the smallest dataset at full scale to keep the test fast.
+        train, test = starlink_dataset(seed=0, scale=1.0)
+        assert len(train) == PAPER_TABLE1["starlink"].train_traces
+        assert len(test) == PAPER_TABLE1["starlink"].test_traces
+
+    def test_invalid_scale_raises(self):
+        with pytest.raises(ValueError):
+            lte_dataset(scale=0.0)
+        with pytest.raises(ValueError):
+            nr5g_dataset(scale=1.5)
+
+    def test_registry_builds_all_environments(self):
+        assert list_environments() == ["fcc", "starlink", "4g", "5g"]
+        for name in list_environments():
+            train, test = build_dataset(name, seed=0, scale=0.02)
+            assert len(train) >= 1 and len(test) >= 1
+
+    def test_registry_unknown_environment(self):
+        with pytest.raises(KeyError):
+            build_dataset("6g")
+
+    def test_environment_spec_fields(self):
+        spec = ENVIRONMENTS["4g"]
+        assert spec.bitrate_ladder == "high"
+        assert spec.train_epochs == 40_000
+
+    def test_compute_dataset_stats(self):
+        train, test = starlink_dataset(seed=0, scale=0.5)
+        stats = compute_dataset_stats("starlink", train, test)
+        assert stats.train_traces == len(train)
+        assert stats.test_traces == len(test)
+        assert stats.train_epochs == PAPER_TABLE1["starlink"].train_epochs
+        assert stats.throughput_mbps > 0
+        row = stats.as_row()
+        assert row[0] == "starlink"
+        assert len(row) == 8
+
+
+class TestLoaders:
+    def test_pensieve_roundtrip(self, tmp_path):
+        trace = generate_fcc_trace(duration_s=100, seed=0)
+        path = str(tmp_path / "trace.log")
+        save_pensieve_format(trace, path)
+        loaded = load_pensieve_format(path)
+        np.testing.assert_allclose(loaded.timestamps_s, trace.timestamps_s, atol=1e-5)
+        np.testing.assert_allclose(loaded.throughputs_mbps, trace.throughputs_mbps,
+                                   atol=1e-5)
+
+    def test_pensieve_loader_rejects_malformed(self, tmp_path):
+        path = tmp_path / "bad.log"
+        path.write_text("not-a-number\n")
+        with pytest.raises(ValueError):
+            load_pensieve_format(str(path))
+
+    def test_mahimahi_roundtrip_preserves_mean_rate(self, tmp_path):
+        trace = Trace(np.arange(0.0, 30.0, 1.0), np.full(30, 6.0), name="const6")
+        path = str(tmp_path / "mahimahi.trace")
+        save_mahimahi_format(trace, path, granularity_ms=100)
+        loaded = load_mahimahi_format(path, granularity_ms=1000)
+        assert loaded.mean_throughput_mbps == pytest.approx(6.0, rel=0.1)
+
+    def test_mahimahi_empty_file_raises(self, tmp_path):
+        path = tmp_path / "empty.trace"
+        path.write_text("")
+        with pytest.raises(ValueError):
+            load_mahimahi_format(str(path))
+
+    def test_traceset_directory_roundtrip(self, tmp_path, fcc_traceset):
+        directory = str(tmp_path / "traces")
+        paths = save_traceset(fcc_traceset, directory)
+        assert len(paths) == len(fcc_traceset)
+        loaded = load_traceset(directory)
+        assert len(loaded) == len(fcc_traceset)
+
+    def test_load_traceset_empty_directory(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_traceset(str(tmp_path))
