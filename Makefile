@@ -1,0 +1,20 @@
+# Convenience targets for the Nada reproduction.
+#
+#   make smoke   - quick regression gate: fast tests + a 1-worker bench run
+#   make test    - the full tier-1 suite (tests + benchmark regenerations)
+#   make bench   - the evaluation-engine benchmark, refreshing BENCH_baseline.json
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: smoke test bench
+
+smoke:
+	$(PYTHON) -m pytest -q -m "not slow"
+	$(PYTHON) benchmarks/bench_scales.py --workers 1
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench:
+	$(PYTHON) benchmarks/bench_scales.py --json benchmarks/BENCH_baseline.json

@@ -1,15 +1,55 @@
-"""Benchmark scale presets.
+"""Benchmark scale presets and the end-to-end performance benchmark.
 
 All benchmarks exercise the exact code paths of the paper's experiments, but
 at a reduced scale so the whole harness runs on a laptop in minutes rather
 than the cluster-months of the original study (3,000 designs x 40,000 epochs
 x 5 seeds).  The presets below document the scale used by each benchmark;
 raising them toward the published values only changes runtime, not code.
+
+Run this module directly to measure the evaluation engine::
+
+    PYTHONPATH=src python benchmarks/bench_scales.py --json benchmarks/BENCH_baseline.json
+
+It scores the original Pensieve design plus a few generated designs under the
+§3.1 protocol twice:
+
+* **seed mode** — the seed repository's implementation: per-segment trace
+  walk, one policy forward per chunk through the autograd graph, serial
+  checkpoint evaluation, float64, allocation-heavy optimizer step and
+  ``rng.choice`` action sampling (the last three are restored from the seed
+  via the reference implementations in this file);
+* **optimized mode** — the shipped engine: prefix-sum downloads, the folded
+  NumPy inference tower, batched greedy evaluation, the fused optimizer, and
+  the requested dtype/worker count.
+
+Both modes run the same protocol on the same designs, and the report includes
+the score agreement so speedups can never silently change results.
 """
 
 from __future__ import annotations
 
+import argparse
+import contextlib
+import json
+import os
+import sys
+import time
+from dataclasses import replace
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro import nn
+from repro.abr.env import SimulatorConfig
+from repro.abr.networks import set_fast_inference
 from repro.analysis import ExperimentScale
+from repro.analysis.experiments import build_environment
+from repro.core.design import CandidatePool, DesignKind
+from repro.core.evaluation import DesignTrainer, TestScoreProtocol
+from repro.core.filters import FilterPipeline
+from repro.core.generation import DesignGenerator, GenerationConfig
+from repro.core.parallel import ParallelConfig
+from repro.llm.synthetic import SyntheticLLM
 
 #: Scale used by the Table 3 benchmark (per environment x profile cell).
 TABLE3_SCALE = ExperimentScale(
@@ -86,3 +126,218 @@ ABLATION_SCALE = ExperimentScale(
     max_trained_designs=6,
     seed=0,
 )
+
+#: Default scale of the evaluation-engine benchmark below.
+DEFAULT_BENCH_SCALE = ExperimentScale()
+
+#: Generated designs scored on top of the original in each benchmark mode.
+#: Defaults to 0 because generated state functions can spend most of their
+#: time inside their own (engine-independent) code — e.g. a Savitzky-Golay
+#: filter per observation — which dilutes the engine measurement equally in
+#: both modes; the original design isolates the evaluation engine itself.
+DEFAULT_BENCH_DESIGNS = 0
+
+
+# --------------------------------------------------------------------------- #
+# Seed reference implementations (restored for the baseline measurement)
+# --------------------------------------------------------------------------- #
+def _seed_conv1d_forward(self, x):
+    """Conv1D.forward as shipped in the seed: one graph node per position."""
+    from repro.nn.layers import stack
+    from repro.nn.tensor import Tensor
+
+    if x.ndim == 2:
+        x = x.reshape(x.shape[0], 1, x.shape[1])
+    batch, channels, length = x.shape
+    if channels != self.in_channels:
+        raise ValueError(f"Conv1D expected {self.in_channels} channels, got {channels}")
+    kernel = self.kernel_size
+    if length < kernel:
+        raise ValueError(f"Conv1D input length {length} is shorter than kernel size {kernel}")
+    positions = list(range(0, length - kernel + 1, self.stride))
+    columns = []
+    for start in positions:
+        patch = x[:, :, start:start + kernel].reshape(batch, channels * kernel)
+        columns.append(patch)
+    stacked = stack(columns, axis=1)
+    flat_weight = Tensor(self.weight.data.reshape(self.out_channels, channels * kernel))
+    flat_weight.requires_grad = self.weight.requires_grad
+    weight_param = self.weight
+
+    def weight_backward(grad):
+        weight_param._accumulate(grad.reshape(weight_param.data.shape))
+
+    flat_weight._parents = (weight_param,)
+    flat_weight._backward = weight_backward
+    out = stacked.matmul(flat_weight.transpose())
+    out = out.transpose(0, 2, 1)
+    if self.bias is not None:
+        out = out + self.bias.reshape(1, self.out_channels, 1)
+    return self.activation(out)
+
+
+def _seed_rmsprop_step(self):
+    """RMSProp.step as shipped in the seed: fresh temporaries per parameter."""
+    for p, square_avg in zip(self.parameters, self._square_avg):
+        if p.grad is None:
+            continue
+        square_avg *= self.decay
+        square_avg += (1.0 - self.decay) * p.grad ** 2
+        p.data = p.data - self.lr * p.grad / (np.sqrt(square_avg) + self.eps)
+        p.version = getattr(p, "version", 0) + 1
+
+
+def _seed_sample_action(probabilities, rng):
+    """sample_action as shipped in the seed: ``rng.choice`` with validation."""
+    probs = np.asarray(probabilities, dtype=np.float64).ravel()
+    probs = np.clip(probs, 0.0, None)
+    total = probs.sum()
+    if not np.isfinite(total) or total <= 0:
+        probs = np.full(len(probs), 1.0 / len(probs))
+    else:
+        probs = probs / total
+    return int(rng.choice(len(probs), p=probs))
+
+
+@contextlib.contextmanager
+def seed_reference_mode():
+    """Swap in the seed's hot-path implementations for a baseline measurement."""
+    from repro.nn import layers as nn_layers
+    from repro.nn import optim as nn_optim
+    from repro.rl import agent as rl_agent
+    from repro.rl import policy as rl_policy
+
+    saved = (nn_layers.Conv1D.forward, nn_optim.RMSProp.step,
+             rl_policy.sample_action, rl_agent.sample_action,
+             set_fast_inference(False), nn.set_default_dtype("float64"))
+    nn_layers.Conv1D.forward = _seed_conv1d_forward
+    nn_optim.RMSProp.step = _seed_rmsprop_step
+    rl_policy.sample_action = _seed_sample_action
+    rl_agent.sample_action = _seed_sample_action
+    try:
+        yield
+    finally:
+        nn_layers.Conv1D.forward = saved[0]
+        nn_optim.RMSProp.step = saved[1]
+        rl_policy.sample_action = saved[2]
+        rl_agent.sample_action = saved[3]
+        set_fast_inference(saved[4])
+        nn.set_default_dtype(saved[5])
+
+
+# --------------------------------------------------------------------------- #
+# Workload
+# --------------------------------------------------------------------------- #
+def _bench_designs(scale: ExperimentScale, count: int):
+    client = SyntheticLLM("gpt-4", seed=scale.seed)
+    generator = DesignGenerator(client, GenerationConfig(base_seed=scale.seed))
+    pool = CandidatePool(generator.generate(DesignKind.STATE, max(count * 2, 4)))
+    FilterPipeline().apply(pool)
+    return pool.surviving_prechecks()[:count]
+
+
+def run_protocol_workload(scale: ExperimentScale,
+                          download_engine: str,
+                          batched_evaluation: bool,
+                          workers: int = 1,
+                          designs: Optional[list] = None,
+                          ) -> Tuple[float, Dict[str, float]]:
+    """Score the original design plus the given generated states.
+
+    Returns (wall-clock seconds, {design label: protocol score}).
+    """
+    setup = build_environment("fcc", scale)
+    config = replace(scale.evaluation_config(),
+                     simulator=SimulatorConfig(download_engine=download_engine),
+                     batched_evaluation=batched_evaluation)
+    trainer = DesignTrainer(setup.video, setup.train_traces, setup.test_traces,
+                            config=config, qoe=setup.qoe)
+    protocol = TestScoreProtocol(trainer,
+                                 parallel=ParallelConfig(max_workers=workers))
+    designs = designs or []
+    jobs = [(None, None)] + [(design, None) for design in designs]
+    start = time.perf_counter()
+    results = protocol.run_many(jobs)
+    elapsed = time.perf_counter() - start
+    labels = ["original"] + [design.design_id for design in designs]
+    scores = {label: score for label, (score, _) in zip(labels, results)}
+    return elapsed, scores
+
+
+def run_benchmark(scale: ExperimentScale = DEFAULT_BENCH_SCALE,
+                  workers: int = 1,
+                  dtype: str = "float32",
+                  num_designs: int = DEFAULT_BENCH_DESIGNS) -> dict:
+    """Measure seed mode vs optimized mode; returns the report dict."""
+    designs = _bench_designs(scale, num_designs)
+    with seed_reference_mode():
+        seed_seconds, seed_scores = run_protocol_workload(
+            scale, download_engine="segment_walk", batched_evaluation=False,
+            workers=1, designs=designs)
+
+    previous_dtype = nn.set_default_dtype(dtype)
+    try:
+        optimized_seconds, optimized_scores = run_protocol_workload(
+            scale, download_engine="prefix_sum", batched_evaluation=True,
+            workers=workers, designs=designs)
+    finally:
+        nn.set_default_dtype(previous_dtype)
+
+    score_delta = max(abs(seed_scores[k] - optimized_scores[k])
+                      for k in seed_scores)
+    return {
+        "workload": {
+            "environment": "fcc",
+            "train_epochs": scale.train_epochs,
+            "checkpoint_interval": scale.checkpoint_interval,
+            "num_seeds": scale.num_seeds,
+            "num_chunks": scale.num_chunks,
+            "dataset_scale": scale.dataset_scale,
+            "designs_scored": num_designs + 1,
+        },
+        "seed_mode": {"seconds": round(seed_seconds, 3), "scores": seed_scores},
+        "optimized_mode": {"seconds": round(optimized_seconds, 3),
+                           "scores": optimized_scores,
+                           "dtype": dtype, "workers": workers},
+        "speedup": round(seed_seconds / optimized_seconds, 2),
+        "max_score_delta": score_delta,
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="End-to-end benchmark of the design-evaluation engine")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="write the report as JSON (e.g. benchmarks/BENCH_baseline.json)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes for the optimized mode")
+    parser.add_argument("--dtype", choices=["float32", "float64"],
+                        default="float32", help="optimized-mode tensor dtype")
+    parser.add_argument("--designs", type=int, default=DEFAULT_BENCH_DESIGNS,
+                        help="generated designs scored on top of the original")
+    args = parser.parse_args(argv)
+
+    report = run_benchmark(workers=args.workers, dtype=args.dtype,
+                           num_designs=args.designs)
+    seed_mode = report["seed_mode"]
+    optimized = report["optimized_mode"]
+    print(f"workload      : original + {args.designs} designs, "
+          f"{report['workload']['num_seeds']} seeds x "
+          f"{report['workload']['train_epochs']} epochs (fcc)")
+    print(f"seed mode     : {seed_mode['seconds']:8.3f} s  (segment walk, serial eval, "
+          "graph forward, float64)")
+    print(f"optimized mode: {optimized['seconds']:8.3f} s  (prefix sum, batched eval, "
+          f"folded forward, {optimized['dtype']}, workers={optimized['workers']})")
+    print(f"speedup       : {report['speedup']:8.2f} x")
+    print(f"score delta   : {report['max_score_delta']:8.2e} (max |seed - optimized|)")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"report written: {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,6 +20,19 @@ def pytest_configure(config):
     os.makedirs(RESULTS_DIR, exist_ok=True)
 
 
+def pytest_collection_modifyitems(items):
+    """Mark every benchmark as ``slow`` so the smoke run can skip them.
+
+    The quick regression target is ``python -m pytest -q -m "not slow"``;
+    the full table/figure regenerations only run when explicitly requested
+    (or in the unfiltered tier-1 suite).
+    """
+    this_dir = os.path.dirname(__file__)
+    for item in items:
+        if str(item.fspath).startswith(this_dir):
+            item.add_marker(pytest.mark.slow)
+
+
 @pytest.fixture
 def report_file():
     """Return a function that writes a named benchmark report to disk."""

@@ -31,12 +31,92 @@ __all__ = [
     "GenericActorCritic",
     "original_network_builder",
     "NetworkBuilder",
+    "set_fast_inference",
+    "fast_inference_enabled",
 ]
 
 #: Name the generated code block must define.
 NETWORK_BUILDER_NAME = "build_network"
 
 NetworkBuilder = Callable[..., "ActorCriticNetwork"]
+
+#: When True (the default), :meth:`ActorCriticNetwork.policy_probs` may use a
+#: pure-NumPy actor-tower forward instead of building an autograd graph.  The
+#: fast path computes the same arithmetic and agrees with the graph forward to
+#: float round-off; disable it to benchmark or debug against the graph path.
+_FAST_INFERENCE = True
+
+
+def set_fast_inference(enabled: bool) -> bool:
+    """Toggle the NumPy inference fast path; returns the previous setting."""
+    global _FAST_INFERENCE
+    previous = _FAST_INFERENCE
+    _FAST_INFERENCE = bool(enabled)
+    return previous
+
+
+def fast_inference_enabled() -> bool:
+    return _FAST_INFERENCE
+
+
+# --------------------------------------------------------------------------- #
+# NumPy kernels for the inference fast path
+# --------------------------------------------------------------------------- #
+_NUMPY_ACTIVATIONS = {
+    None: lambda x: x,
+    "linear": lambda x: x,
+    "identity": lambda x: x,
+    "none": lambda x: x,
+    "relu": lambda x: np.maximum(x, 0.0),
+    "tanh": np.tanh,
+    "sigmoid": lambda x: 1.0 / (1.0 + np.exp(-x)),
+    "leaky_relu": lambda x: np.where(x > 0, x, 0.01 * x),
+    "leakyrelu": lambda x: np.where(x > 0, x, 0.01 * x),
+    "elu": lambda x: np.where(x > 0, x, np.exp(np.minimum(x, 0.0)) - 1.0),
+    "softplus": lambda x: np.maximum(x, 0.0) + np.log1p(np.exp(-np.abs(x))),
+}
+
+
+def _layer_kernel(layer) -> Optional[Callable[[np.ndarray], np.ndarray]]:
+    """NumPy activation for a Dense/Conv1D layer, or None if unsupported."""
+    name = getattr(layer, "activation_name", "custom")
+    if name is not None and not isinstance(name, str):
+        return None
+    return _NUMPY_ACTIVATIONS.get(name.lower() if isinstance(name, str) else name)
+
+
+def _dense_np(layer, x: np.ndarray) -> np.ndarray:
+    out = x @ layer.weight.data
+    if layer.bias is not None:
+        out = out + layer.bias.data
+    return _layer_kernel(layer)(out)
+
+
+def _conv1d_np(layer, x: np.ndarray) -> np.ndarray:
+    """Apply a Conv1D layer to ``(batch, channels, length)`` input in NumPy.
+
+    Returns the flattened ``(batch, out_channels * positions)`` feature map in
+    the same (filter-major) order as ``forward(...).reshape(batch, -1)``.
+    """
+    batch = x.shape[0]
+    kernel = layer.kernel_size
+    windows = np.lib.stride_tricks.sliding_window_view(
+        x, kernel, axis=2)[:, :, ::layer.stride]
+    positions = windows.shape[2]
+    patches = np.ascontiguousarray(windows.transpose(0, 2, 1, 3)).reshape(
+        batch, positions, -1)
+    flat_weight = layer.weight.data.reshape(layer.out_channels, -1)
+    out = patches @ flat_weight.T  # (batch, positions, out_channels)
+    if layer.bias is not None:
+        out = out + layer.bias.data
+    out = _layer_kernel(layer)(out)
+    return np.ascontiguousarray(out.transpose(0, 2, 1)).reshape(batch, -1)
+
+
+def _softmax_np(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)
 
 
 class ActorCriticNetwork(nn.Module):
@@ -65,6 +145,28 @@ class ActorCriticNetwork(nn.Module):
         """State-value estimates for a batch of states."""
         _, value = self.forward(states)
         return value
+
+    def policy_probs(self, states: np.ndarray) -> np.ndarray:
+        """Action probabilities for a batch of raw NumPy states.
+
+        This is the inference entry point for rollouts and the batched greedy
+        evaluator.  Subclasses override it with a pure-NumPy actor-tower
+        forward when possible; the base implementation runs the autograd
+        forward under ``no_grad`` (correct for any architecture).
+        """
+        return self._policy_probs_graph(states)
+
+    def _policy_probs_graph(self, states: np.ndarray) -> np.ndarray:
+        states = np.asarray(states)
+        if states.ndim == len(self.state_shape):
+            states = states[None, ...]
+        with nn.no_grad():
+            probs = self.policy(nn.tensor(states))
+        return probs.numpy()
+
+    def supports_fused_update(self) -> bool:
+        """Whether the trainer may use an analytic fused forward/backward."""
+        return False
 
 
 class PensieveNetwork(ActorCriticNetwork):
@@ -127,6 +229,8 @@ class PensieveNetwork(ActorCriticNetwork):
         self.actor_out = nn.Dense(hidden_size, num_actions, rng=rng)
         self.critic_hidden = nn.Dense(merged, hidden_size, activation=activation, rng=rng)
         self.critic_out = nn.Dense(hidden_size, 1, rng=rng)
+        #: (version, A_T, bias, activation) cache for the folded branch bank.
+        self._fold_cache = None
 
     def forward(self, states: Tensor) -> Tuple[Tensor, Tensor]:
         if states.ndim == 2 and len(self.state_shape) == 2:
@@ -150,6 +254,235 @@ class PensieveNetwork(ActorCriticNetwork):
         logits = self.actor_out(self.actor_hidden(merged))
         value = self.critic_out(self.critic_hidden(merged)).reshape(batch)
         return logits, value
+
+    # NumPy inference fast path -----------------------------------------------
+    def _fast_path_supported(self) -> bool:
+        layers = list(self.conv_branches) + list(self.scalar_branches)
+        layers += [self.actor_hidden, self.actor_out]
+        return all(_layer_kernel(layer) is not None for layer in layers)
+
+    def _foldable(self) -> bool:
+        """Whether the whole branch bank collapses into one weight matrix.
+
+        Requires homogeneous branches (the constructor always builds them
+        this way): per-row Conv1D(1, F, K) and Dense(1, H) branches sharing
+        one activation, so the pre-activation feature vector is a single
+        linear map of the flattened state.
+        """
+        convs = self.conv_branches
+        scalars = self.scalar_branches
+        if not convs and not scalars:
+            return False
+        conv_ok = (not convs) or all(
+            b.in_channels == 1 and b.bias is not None
+            and b.kernel_size == convs[0].kernel_size
+            and b.stride == convs[0].stride
+            and b.out_channels == convs[0].out_channels
+            and b.activation_name == convs[0].activation_name
+            for b in convs)
+        scalar_ok = (not scalars) or all(
+            b.in_features == 1 and b.bias is not None
+            and b.out_features == scalars[0].out_features
+            and b.activation_name == scalars[0].activation_name
+            for b in scalars)
+        if not (conv_ok and scalar_ok):
+            return False
+        if convs and scalars:
+            return convs[0].activation_name == scalars[0].activation_name
+        return True
+
+    def _folded_tower(self):
+        """Branch bank folded to ``(A_T, bias, activation)``, version-cached.
+
+        The fold turns every inference forward into ``act(x @ A_T + bias)``
+        followed by the two actor dense layers — three matmuls per decision.
+        Parameters carry a version counter bumped by optimizers, so the fold
+        is rebuilt only after weights actually change (once per update, not
+        once per decision).  The cache holds arrays only (no callables), so
+        the network stays picklable.
+        """
+        branches = list(self.conv_branches) + list(self.scalar_branches)
+        activation = _layer_kernel(branches[0])
+        version = sum(getattr(b.weight, "version", 0) + getattr(b.bias, "version", 0)
+                      for b in branches)
+        cached = self._fold_cache
+        if cached is not None and cached[0] == version:
+            return cached[1], cached[2], activation
+        dtype = self.actor_out.weight.data.dtype
+        history = self._history if len(self.state_shape) == 2 else 1
+        rows = self.state_shape[0]
+        merged = 0
+        kernel = stride = filters = positions = 0
+        starts: range = range(0)
+        if self.conv_branches:
+            kernel = self.conv_branches[0].kernel_size
+            stride = self.conv_branches[0].stride
+            filters = self.conv_branches[0].out_channels
+            starts = range(0, history - kernel + 1, stride)
+            positions = len(starts)
+            merged += len(self.conv_branches) * filters * positions
+        if self.scalar_branches:
+            merged += len(self.scalar_branches) * self.scalar_branches[0].out_features
+        matrix = np.zeros((merged, rows * history), dtype=dtype)
+        bias = np.empty(merged, dtype=dtype)
+        offset = 0
+        for branch, row in zip(self.conv_branches, self.temporal_rows):
+            weight = branch.weight.data.reshape(filters, kernel)
+            for pos, start in enumerate(starts):
+                matrix[offset + pos:offset + filters * positions:positions,
+                       row * history + start:row * history + start + kernel] = weight
+            bias[offset:offset + filters * positions] = np.repeat(
+                branch.bias.data, positions)
+            offset += filters * positions
+        for branch, row in zip(self.scalar_branches, self.scalar_rows):
+            width = branch.out_features
+            matrix[offset:offset + width, row * history + history - 1] = \
+                branch.weight.data[0]
+            bias[offset:offset + width] = branch.bias.data
+            offset += width
+        folded = np.ascontiguousarray(matrix.T)
+        self._fold_cache = (version, folded, bias)
+        return folded, bias, activation
+
+    def policy_probs(self, states: np.ndarray) -> np.ndarray:
+        if not (_FAST_INFERENCE and self._fast_path_supported()):
+            return self._policy_probs_graph(states)
+        dtype = self.actor_out.weight.data.dtype
+        states = np.asarray(states, dtype=dtype)
+        if states.ndim == len(self.state_shape):
+            states = states[None, ...]
+        batch = states.shape[0]
+        if self._foldable():
+            folded, bias, activation = self._folded_tower()
+            merged = activation(states.reshape(batch, -1) @ folded + bias)
+        else:
+            features = []
+            if len(self.state_shape) == 1:
+                for branch, row in zip(self.scalar_branches, self.scalar_rows):
+                    features.append(_dense_np(branch, states[:, row:row + 1]))
+            else:
+                for branch, row in zip(self.conv_branches, self.temporal_rows):
+                    features.append(_conv1d_np(branch, states[:, row:row + 1, :]))
+                for branch, row in zip(self.scalar_branches, self.scalar_rows):
+                    features.append(_dense_np(branch, states[:, row, -1:].reshape(batch, 1)))
+            merged = np.concatenate(features, axis=1)
+        logits = _dense_np(self.actor_out, _dense_np(self.actor_hidden, merged))
+        return _softmax_np(logits)
+
+    # Fused analytic update (used by the A2C trainer) --------------------------
+    def supports_fused_update(self) -> bool:
+        """Whether the hand-derived forward/backward below applies.
+
+        Requires the foldable branch bank with ReLU activations throughout
+        (the constructor's default) and linear output heads; anything else
+        falls back to the autograd path.  Shares the fast-inference switch so
+        one toggle reverts the whole fast engine.
+        """
+        if not (_FAST_INFERENCE and self._foldable()):
+            return False
+        relu_layers = list(self.conv_branches) + list(self.scalar_branches)
+        relu_layers += [self.actor_hidden, self.critic_hidden]
+        if any(layer.activation_name != "relu" for layer in relu_layers):
+            return False
+        return (self.actor_out.activation_name in (None, "linear")
+                and self.critic_out.activation_name in (None, "linear")
+                and self.actor_out.bias is not None
+                and self.critic_out.bias is not None
+                and self.actor_hidden.bias is not None
+                and self.critic_hidden.bias is not None)
+
+    def fused_forward(self, states: np.ndarray):
+        """Pure-NumPy forward through both towers, keeping intermediates.
+
+        Returns ``(cache, logits, values)``; pass the cache (plus the loss
+        gradients w.r.t. logits and values) to :meth:`fused_backward`.
+        Numerically identical to ``forward`` — same folded matrix, same
+        matmuls — without building an autograd graph.
+        """
+        dtype = self.actor_out.weight.data.dtype
+        states = np.asarray(states, dtype=dtype)
+        if states.ndim == len(self.state_shape):
+            states = states[None, ...]
+        batch = states.shape[0]
+        flat = states.reshape(batch, -1)
+        folded, bias, _ = self._folded_tower()
+        pre_merged = flat @ folded + bias
+        merged = np.maximum(pre_merged, 0.0)
+        pre_actor = merged @ self.actor_hidden.weight.data + self.actor_hidden.bias.data
+        hidden_actor = np.maximum(pre_actor, 0.0)
+        logits = hidden_actor @ self.actor_out.weight.data + self.actor_out.bias.data
+        pre_critic = merged @ self.critic_hidden.weight.data + self.critic_hidden.bias.data
+        hidden_critic = np.maximum(pre_critic, 0.0)
+        values = (hidden_critic @ self.critic_out.weight.data
+                  + self.critic_out.bias.data).reshape(batch)
+        cache = (states, flat, pre_merged, merged, pre_actor, hidden_actor,
+                 pre_critic, hidden_critic)
+        return cache, logits, values
+
+    def fused_backward(self, cache, dlogits: np.ndarray, dvalues: np.ndarray) -> None:
+        """Accumulate parameter gradients for the cached fused forward.
+
+        ``dlogits``/``dvalues`` are the loss gradients w.r.t. the forward's
+        outputs; gradients land in ``Parameter.grad`` exactly like
+        ``loss.backward()`` would put them.
+        """
+        (states, flat, pre_merged, merged, pre_actor, hidden_actor,
+         pre_critic, hidden_critic) = cache
+        dvalues = np.asarray(dvalues).reshape(-1, 1)
+
+        # Actor tower.
+        self.actor_out.weight._accumulate(hidden_actor.T @ dlogits)
+        self.actor_out.bias._accumulate(dlogits.sum(axis=0))
+        d_hidden_actor = dlogits @ self.actor_out.weight.data.T
+        d_pre_actor = d_hidden_actor * (pre_actor > 0)
+        self.actor_hidden.weight._accumulate(merged.T @ d_pre_actor)
+        self.actor_hidden.bias._accumulate(d_pre_actor.sum(axis=0))
+        d_merged = d_pre_actor @ self.actor_hidden.weight.data.T
+
+        # Critic tower.
+        self.critic_out.weight._accumulate(hidden_critic.T @ dvalues)
+        self.critic_out.bias._accumulate(dvalues.sum(axis=0))
+        d_hidden_critic = dvalues @ self.critic_out.weight.data.T
+        d_pre_critic = d_hidden_critic * (pre_critic > 0)
+        self.critic_hidden.weight._accumulate(merged.T @ d_pre_critic)
+        self.critic_hidden.bias._accumulate(d_pre_critic.sum(axis=0))
+        d_merged = d_merged + d_pre_critic @ self.critic_hidden.weight.data.T
+
+        # Shared branch bank (through the ReLU on the folded pre-activation).
+        d_pre_merged = d_merged * (pre_merged > 0)
+        offset = 0
+        if self.conv_branches:
+            kernel = self.conv_branches[0].kernel_size
+            stride = self.conv_branches[0].stride
+            filters = self.conv_branches[0].out_channels
+            history = self._history
+            rows = states[:, list(self.temporal_rows), :]
+            windows = np.lib.stride_tricks.sliding_window_view(
+                rows, kernel, axis=2)[:, :, ::stride]     # (B, R, P, K)
+            positions = windows.shape[2]
+            span = len(self.conv_branches) * filters * positions
+            d_conv = d_pre_merged[:, :span].reshape(
+                -1, len(self.conv_branches), filters, positions)
+            d_weights = np.einsum("brfp,brpk->rfk", d_conv, windows)
+            d_biases = d_conv.sum(axis=(0, 3))
+            for index, branch in enumerate(self.conv_branches):
+                branch.weight._accumulate(
+                    d_weights[index].reshape(branch.weight.data.shape))
+                branch.bias._accumulate(d_biases[index])
+            offset = span
+        if self.scalar_branches:
+            width = self.scalar_branches[0].out_features
+            if len(self.state_shape) == 1:
+                scalars = states[:, list(self.scalar_rows)]
+            else:
+                scalars = states[:, list(self.scalar_rows), -1]  # (B, S)
+            d_scalar = d_pre_merged[:, offset:].reshape(
+                -1, len(self.scalar_branches), width)
+            d_weights = np.einsum("bsh,bs->sh", d_scalar, scalars)
+            d_biases = d_scalar.sum(axis=0)
+            for index, branch in enumerate(self.scalar_branches):
+                branch.weight._accumulate(d_weights[index][None, :])
+                branch.bias._accumulate(d_biases[index])
 
 
 class GenericActorCritic(ActorCriticNetwork):
@@ -227,6 +560,36 @@ class GenericActorCritic(ActorCriticNetwork):
         logits = self.actor_out(self.actor_trunk(encoded))
         value = self.critic_out(self.critic_trunk(encoded)).reshape(batch)
         return logits, value
+
+    # NumPy inference fast path -----------------------------------------------
+    def _fast_path_supported(self) -> bool:
+        if self.encoder_kind == "conv":
+            if _layer_kernel(self.encoder) is None:
+                return False
+        elif self.encoder_kind != "flatten":
+            return False
+        layers = list(self.actor_trunk) + [self.actor_out]
+        for layer in layers:
+            if not isinstance(layer, nn.Dense) or _layer_kernel(layer) is None:
+                return False
+        return True
+
+    def policy_probs(self, states: np.ndarray) -> np.ndarray:
+        if not (_FAST_INFERENCE and self._fast_path_supported()):
+            return self._policy_probs_graph(states)
+        dtype = self.actor_out.weight.data.dtype
+        states = np.asarray(states, dtype=dtype)
+        if states.ndim == len(self.state_shape):
+            states = states[None, ...]
+        batch = states.shape[0]
+        if self.encoder_kind == "conv":
+            encoded = _conv1d_np(self.encoder, states)
+        else:
+            encoded = states.reshape(batch, -1)
+        for layer in self.actor_trunk:
+            encoded = _dense_np(layer, encoded)
+        logits = _dense_np(self.actor_out, encoded)
+        return _softmax_np(logits)
 
 
 def original_network_builder(state_shape: Tuple[int, ...], num_actions: int,

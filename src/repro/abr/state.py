@@ -134,18 +134,24 @@ class StateFunction:
     remembers the feature shape (needed to size the neural network input).
     """
 
-    def __init__(self, func: Callable[..., np.ndarray], name: str = "state") -> None:
+    def __init__(self, func: Callable[..., np.ndarray], name: str = "state",
+                 trusted: bool = False) -> None:
         if not callable(func):
             raise TypeError("state function must be callable")
         self._func = func
         self.name = name
         self._shape: Optional[tuple] = None
+        #: Trusted functions (the built-in original) are known to return a
+        #: fresh, finite, fixed-shape float array, so the per-call validation
+        #: is skipped on the rollout hot path.  Generated code is never
+        #: trusted.
+        self.trusted = trusted
 
     # ------------------------------------------------------------------ #
     @classmethod
     def original(cls) -> "StateFunction":
         """The original Pensieve state representation."""
-        return cls(original_state_function, name="pensieve-original")
+        return cls(original_state_function, name="pensieve-original", trusted=True)
 
     # ------------------------------------------------------------------ #
     @property
@@ -164,6 +170,10 @@ class StateFunction:
             observation.total_chunks,
             observation.bitrate_ladder_kbps,
         )
+        if self.trusted:
+            if self._shape is None:
+                self._shape = features.shape
+            return features
         array = np.asarray(features, dtype=np.float64)
         if array.size == 0:
             raise ValueError(f"state function {self.name!r} returned an empty array")

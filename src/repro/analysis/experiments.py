@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import nn
 from ..abr.env import StreamingSession
 from ..abr.qoe import LinearQoE
 from ..abr.video import Video, synthetic_video
@@ -21,6 +22,7 @@ from ..core.design import CandidatePool, Design, DesignKind, DesignStatus
 from ..core.evaluation import DesignTrainer, EvaluationConfig, TestScoreProtocol, instantiate_agent
 from ..core.filters import FilterPipeline, FilterReport
 from ..core.generation import DesignGenerator, GenerationConfig
+from ..core.parallel import ParallelConfig, parallel_map
 from ..core.predictors import DesignSampleFeatures
 from ..core.prompts import PromptConfig
 from ..emulation.emulator import EmulationConfig, Emulator
@@ -72,6 +74,12 @@ class ExperimentScale:
     entropy_weight_end: float = 0.05
     #: Base random seed.
     seed: int = 0
+    #: Worker processes for the (design, seed) evaluation fan-out; None reads
+    #: the REPRO_WORKERS environment variable, <= 1 runs serially.
+    workers: Optional[int] = 1
+    #: Tensor dtype for the nn substrate: "float64" (accuracy-first default)
+    #: or "float32" (fast path).  Applied by the experiment drivers.
+    dtype: str = "float64"
 
     def evaluation_config(self) -> EvaluationConfig:
         return EvaluationConfig(
@@ -83,6 +91,9 @@ class ExperimentScale:
                           entropy_weight_end=self.entropy_weight_end,
                           entropy_anneal_epochs=max(self.train_epochs // 2, 1)),
         )
+
+    def parallel_config(self) -> ParallelConfig:
+        return ParallelConfig(max_workers=self.workers)
 
 
 @dataclass
@@ -162,6 +173,15 @@ def run_component_experiment(environment: str, kind: str = "state",
                              ) -> ComponentExperimentResult:
     """Generate, filter and evaluate designs for one component (Table 3 / Fig 3-4)."""
     scale = scale or ExperimentScale()
+    with nn.default_dtype(scale.dtype):
+        return _run_component_experiment(environment, kind, llm_profile,
+                                         scale, prompt)
+
+
+def _run_component_experiment(environment: str, kind: str, llm_profile: str,
+                              scale: ExperimentScale,
+                              prompt: Optional[PromptConfig],
+                              ) -> ComponentExperimentResult:
     design_kind = DesignKind(kind)
     setup = build_environment(environment, scale)
     pool, report = _generate_filtered_pool(setup, design_kind, llm_profile, scale,
@@ -169,7 +189,7 @@ def run_component_experiment(environment: str, kind: str = "state",
 
     trainer = DesignTrainer(setup.video, setup.train_traces, setup.test_traces,
                             config=scale.evaluation_config(), qoe=setup.qoe)
-    protocol = TestScoreProtocol(trainer)
+    protocol = TestScoreProtocol(trainer, parallel=scale.parallel_config())
 
     original_score, original_runs = protocol.run(None, None)
     comparison = CurveComparison(
@@ -182,10 +202,11 @@ def run_component_experiment(environment: str, kind: str = "state",
     evaluated_scores: Dict[str, float] = {}
     best_design: Optional[Design] = None
     best_runs = None
-    for design in survivors:
-        state = design if design_kind == DesignKind.STATE else None
-        network = design if design_kind == DesignKind.NETWORK else None
-        score, runs = protocol.run(state, network)
+    # One flat (design, seed) sweep; results come back in design order.
+    jobs = [(design if design_kind == DesignKind.STATE else None,
+             design if design_kind == DesignKind.NETWORK else None)
+            for design in survivors]
+    for design, (score, runs) in zip(survivors, protocol.run_many(jobs)):
         design.record_training(runs[0].reward_history, runs[0].checkpoint_scores)
         design.finalize(score)
         evaluated_scores[design.design_id] = score
@@ -248,6 +269,14 @@ def run_combination_experiment(environment: str, llm_profile: str = "gpt-3.5",
                                top_k: int = 2) -> CombinationExperimentResult:
     """Evaluate top-state x top-network combinations (Table 5 workload)."""
     scale = scale or ExperimentScale()
+    with nn.default_dtype(scale.dtype):
+        return _run_combination_experiment(environment, llm_profile, scale,
+                                           top_k)
+
+
+def _run_combination_experiment(environment: str, llm_profile: str,
+                                scale: ExperimentScale, top_k: int,
+                                ) -> CombinationExperimentResult:
     setup = build_environment(environment, scale)
     state_pool, _ = _generate_filtered_pool(setup, DesignKind.STATE, llm_profile, scale)
     network_pool, _ = _generate_filtered_pool(
@@ -256,15 +285,14 @@ def run_combination_experiment(environment: str, llm_profile: str = "gpt-3.5",
 
     trainer = DesignTrainer(setup.video, setup.train_traces, setup.test_traces,
                             config=scale.evaluation_config(), qoe=setup.qoe)
-    protocol = TestScoreProtocol(trainer)
+    protocol = TestScoreProtocol(trainer, parallel=scale.parallel_config())
     original_score, _ = protocol.run(None, None)
 
     def evaluate_pool(pool: CandidatePool, kind: DesignKind) -> List[Design]:
         survivors = pool.surviving_prechecks()
         if scale.max_trained_designs is not None:
             survivors = survivors[:scale.max_trained_designs]
-        for design in survivors:
-            protocol.score_design(design)
+        protocol.score_designs(survivors)
         return pool.top_k(top_k, kind=kind)
 
     top_states = evaluate_pool(state_pool, DesignKind.STATE)
@@ -273,12 +301,12 @@ def run_combination_experiment(environment: str, llm_profile: str = "gpt-3.5",
     state_score = top_states[0].test_score if top_states else None
     network_score = top_networks[0].test_score if top_networks else None
 
+    # The top_k x top_k grid is one more flat (state, network, seed) sweep.
+    grid = [(state, network) for state in top_states for network in top_networks]
     combined_score: Optional[float] = None
-    for state in top_states:
-        for network in top_networks:
-            score, _ = protocol.run(state, network)
-            if combined_score is None or score > combined_score:
-                combined_score = score
+    for score, _ in protocol.run_many(grid):
+        if combined_score is None or score > combined_score:
+            combined_score = score
 
     return CombinationExperimentResult(
         environment=setup.environment,
@@ -319,6 +347,15 @@ def run_emulation_comparison(environment: str, llm_profile: str = "gpt-4",
                              ) -> EmulationComparisonResult:
     """Train the original and best generated state, then score both in emulation."""
     scale = scale or ExperimentScale()
+    with nn.default_dtype(scale.dtype):
+        return _run_emulation_comparison(environment, llm_profile, scale,
+                                         emulation_config)
+
+
+def _run_emulation_comparison(environment: str, llm_profile: str,
+                              scale: ExperimentScale,
+                              emulation_config: Optional[EmulationConfig],
+                              ) -> EmulationComparisonResult:
     setup = build_environment(environment, scale)
     pool, _ = _generate_filtered_pool(setup, DesignKind.STATE, llm_profile, scale)
     survivors = pool.surviving_prechecks()
@@ -371,6 +408,24 @@ def run_emulation_comparison(environment: str, llm_profile: str = "gpt-4",
 # --------------------------------------------------------------------------- #
 # Figure 5: labelled corpus for the early-stopping comparison
 # --------------------------------------------------------------------------- #
+def _corpus_sample(args) -> DesignSampleFeatures:
+    """Worker: train one corpus design and extract its features."""
+    setup, config, design, seed, eval_seed, dtype = args
+    nn.set_default_dtype(dtype)
+    agent = instantiate_agent(design, None, setup.video, setup.train_traces,
+                              seed=seed)
+    trainer = A2CTrainer(agent, setup.video, setup.train_traces, qoe=setup.qoe,
+                         config=config.a2c, seed=seed)
+    trainer.train(config.train_epochs)
+    final_score = evaluate_agent(agent, setup.video, setup.test_traces,
+                                 qoe=setup.qoe, greedy=True, seed=eval_seed)
+    return DesignSampleFeatures(
+        reward_prefix=list(trainer.reward_history),
+        code=design.code,
+        final_score=float(final_score),
+    )
+
+
 def build_design_corpus(environment: str = "fcc", llm_profile: str = "gpt-4",
                         num_designs: int = 24,
                         scale: Optional[ExperimentScale] = None,
@@ -379,10 +434,18 @@ def build_design_corpus(environment: str = "fcc", llm_profile: str = "gpt-4",
 
     This is the corpus the early-stopping study consumes: each design
     contributes its early training-reward trajectory, its source code and its
-    final test score.
+    final test score.  Designs are independent, so the sweep fans out across
+    ``scale.workers`` processes.
     """
     scale = scale or ExperimentScale()
     scale = replace(scale, num_designs=num_designs)
+    with nn.default_dtype(scale.dtype):
+        return _build_design_corpus(environment, llm_profile, num_designs,
+                                    scale)
+
+
+def _build_design_corpus(environment: str, llm_profile: str, num_designs: int,
+                         scale: ExperimentScale) -> List[DesignSampleFeatures]:
     setup = build_environment(environment, scale)
     client = SyntheticLLM(llm_profile, seed=scale.seed)
     generator = DesignGenerator(client, GenerationConfig(base_seed=scale.seed))
@@ -390,18 +453,6 @@ def build_design_corpus(environment: str = "fcc", llm_profile: str = "gpt-4",
     FilterPipeline().apply(pool)
 
     config = scale.evaluation_config()
-    samples: List[DesignSampleFeatures] = []
-    for index, design in enumerate(pool.surviving_prechecks()):
-        agent = instantiate_agent(design, None, setup.video, setup.train_traces,
-                                  seed=scale.seed + index)
-        trainer = A2CTrainer(agent, setup.video, setup.train_traces, qoe=setup.qoe,
-                             config=config.a2c, seed=scale.seed + index)
-        trainer.train(config.train_epochs)
-        final_score = evaluate_agent(agent, setup.video, setup.test_traces,
-                                     qoe=setup.qoe, greedy=True, seed=scale.seed)
-        samples.append(DesignSampleFeatures(
-            reward_prefix=list(trainer.reward_history),
-            code=design.code,
-            final_score=float(final_score),
-        ))
-    return samples
+    work = [(setup, config, design, scale.seed + index, scale.seed, scale.dtype)
+            for index, design in enumerate(pool.surviving_prechecks())]
+    return parallel_map(_corpus_sample, work, scale.parallel_config())

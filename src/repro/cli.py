@@ -26,6 +26,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from . import nn
 from .abr import make_baseline, run_session, synthetic_video
 from .analysis import render_table
 from .core import EvaluationConfig, NadaConfig, NadaPipeline
@@ -58,6 +59,12 @@ def build_parser() -> argparse.ArgumentParser:
                      help="fraction of the published dataset size to generate")
     run.add_argument("--no-early-stopping", action="store_true")
     run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--workers", type=int, default=1,
+                     help="worker processes for the (design, seed) evaluation "
+                          "fan-out; -1 uses every CPU, 1 runs serially")
+    run.add_argument("--dtype", choices=["float32", "float64"], default="float64",
+                     help="tensor dtype: float64 (accuracy-first default) or "
+                          "float32 (fast path)")
     run.add_argument("--show-code", action="store_true",
                      help="print the best design's source code")
 
@@ -82,6 +89,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _command_run(args: argparse.Namespace) -> int:
+    nn.set_default_dtype(args.dtype)
     config = NadaConfig(
         target=args.target,
         num_designs=args.num_designs,
@@ -96,6 +104,7 @@ def _command_run(args: argparse.Namespace) -> int:
         ),
         use_early_stopping=not args.no_early_stopping,
         seed=args.seed,
+        workers=args.workers,
     )
     pipeline = NadaPipeline.for_environment(
         args.environment, config=config, dataset_scale=args.dataset_scale,

@@ -34,6 +34,7 @@ from .filters import (
     random_observation,
 )
 from .generation import DesignGenerator, GenerationConfig
+from .parallel import ParallelConfig, effective_workers, parallel_map
 from .pipeline import NadaConfig, NadaPipeline, NadaResult
 from .predictors import (
     DesignSampleFeatures,
@@ -83,6 +84,8 @@ __all__ = [
     # evaluation
     "EvaluationConfig", "TrainingRun", "instantiate_agent", "DesignTrainer",
     "TestScoreProtocol",
+    # parallel
+    "ParallelConfig", "parallel_map", "effective_workers",
     # pipeline
     "NadaConfig", "NadaResult", "NadaPipeline",
 ]

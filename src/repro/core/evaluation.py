@@ -20,8 +20,10 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import nn
 from ..abr.env import SimulatorConfig, StreamingSession
-from ..abr.networks import original_network_builder
+from ..abr.networks import (fast_inference_enabled, original_network_builder,
+                            set_fast_inference)
 from ..abr.qoe import LinearQoE, QoEMetric
 from ..abr.state import StateFunction
 from ..abr.video import Video
@@ -31,6 +33,7 @@ from ..traces.base import TraceSet
 from .codegen import load_network_builder, load_state_function
 from .design import Design, DesignKind, DesignStatus
 from .early_stopping import RewardTrajectoryClassifier
+from .parallel import ParallelConfig, parallel_map
 
 __all__ = [
     "EvaluationConfig",
@@ -59,6 +62,9 @@ class EvaluationConfig:
     simulator: SimulatorConfig = field(default_factory=SimulatorConfig)
     #: Evaluate checkpoints greedily (argmax policy) as Pensieve does.
     greedy_evaluation: bool = True
+    #: Step all test traces in lockstep with one batched policy forward per
+    #: chunk during checkpoint evaluation (greedy, noise-free only).
+    batched_evaluation: bool = True
 
     def scaled(self, factor: float) -> "EvaluationConfig":
         """Return a copy with the training schedule scaled by ``factor``."""
@@ -80,17 +86,24 @@ class TrainingRun:
     checkpoint_epochs: List[int]
     checkpoint_scores: List[float]
     early_stopped: bool = False
+    #: The ``last_k_checkpoints`` of the config this run was trained under;
+    #: None falls back to averaging every checkpoint.
+    last_k_checkpoints: Optional[int] = None
 
     @property
     def final_score(self) -> float:
         """Average of the last-k checkpoint scores (k from the config)."""
         if not self.checkpoint_scores:
             return float("-inf")
+        if self.last_k_checkpoints is not None:
+            return self.smoothed_score(self.last_k_checkpoints)
         return float(np.mean(self.checkpoint_scores))
 
     def smoothed_score(self, last_k: int) -> float:
         if not self.checkpoint_scores:
             return float("-inf")
+        if last_k < 1:
+            raise ValueError("last_k must be at least 1")
         return float(np.mean(self.checkpoint_scores[-last_k:]))
 
 
@@ -171,7 +184,8 @@ class DesignTrainer:
                                        qoe=self.qoe,
                                        simulator_config=cfg.simulator,
                                        greedy=cfg.greedy_evaluation,
-                                       seed=seed)
+                                       seed=seed,
+                                       batched=cfg.batched_evaluation)
                 checkpoint_epochs.append(epoch)
                 checkpoint_scores.append(score)
 
@@ -181,49 +195,121 @@ class DesignTrainer:
             checkpoint_epochs=checkpoint_epochs,
             checkpoint_scores=checkpoint_scores,
             early_stopped=early_stopped,
+            last_k_checkpoints=cfg.last_k_checkpoints,
         )
 
 
+@dataclass(frozen=True)
+class _SeedTask:
+    """One picklable (design, seed) work item for the parallel executor."""
+
+    trainer: "DesignTrainer"
+    state_design: Optional[Design]
+    network_design: Optional[Design]
+    seed: int
+    early_stopping: Optional[RewardTrajectoryClassifier]
+    dtype: str
+    fast_inference: bool
+
+
+def _run_seed_task(task: _SeedTask) -> TrainingRun:
+    """Worker entry point: train one (design, seed) pair to completion.
+
+    Runs identical code to the serial path — worker processes only change
+    *where* the computation happens, never its inputs, so the resulting
+    :class:`TrainingRun` is bit-identical either way.  The tensor dtype and
+    fast-inference toggle are re-applied because spawned workers start from
+    a fresh interpreter.
+    """
+    nn.set_default_dtype(task.dtype)
+    set_fast_inference(task.fast_inference)
+    return task.trainer.run(task.state_design, task.network_design,
+                            seed=task.seed, early_stopping=task.early_stopping)
+
+
 class TestScoreProtocol:
-    """The paper's aggregation: median over seeds of last-k checkpoint means."""
+    """The paper's aggregation: median over seeds of last-k checkpoint means.
+
+    With a :class:`~repro.core.parallel.ParallelConfig` the per-seed training
+    sessions (and, via :meth:`run_many`, whole design sweeps) fan out across
+    worker processes; results are merged in submission order so the scores
+    are bit-identical to the serial path.
+    """
 
     #: Not a pytest test class, despite the (domain-specific) name.
     __test__ = False
 
-    def __init__(self, trainer: DesignTrainer, seeds: Optional[Sequence[int]] = None) -> None:
+    def __init__(self, trainer: DesignTrainer, seeds: Optional[Sequence[int]] = None,
+                 parallel: Optional[ParallelConfig] = None) -> None:
         self.trainer = trainer
         config = trainer.config
         self.seeds = list(seeds) if seeds is not None else list(range(config.num_seeds))
         if not self.seeds:
             raise ValueError("at least one seed is required")
+        self.parallel = parallel or ParallelConfig()
 
     # ------------------------------------------------------------------ #
+    def _seed_tasks(self, state_design: Optional[Design],
+                    network_design: Optional[Design],
+                    early_stopping: Optional[RewardTrajectoryClassifier],
+                    ) -> List[_SeedTask]:
+        dtype = str(nn.get_default_dtype())
+        fast = fast_inference_enabled()
+        return [_SeedTask(self.trainer, state_design, network_design, seed,
+                          early_stopping, dtype, fast)
+                for seed in self.seeds]
+
+    def _aggregate(self, runs: Sequence[TrainingRun]) -> float:
+        cfg = self.trainer.config
+        completed = [run for run in runs if not run.early_stopped]
+        scoring_runs = completed if completed else list(runs)
+        per_seed = [run.smoothed_score(cfg.last_k_checkpoints)
+                    for run in scoring_runs]
+        finite = [s for s in per_seed if np.isfinite(s)]
+        return float(np.median(finite)) if finite else float("-inf")
+
     def run(self, state_design: Optional[Design], network_design: Optional[Design],
             early_stopping: Optional[RewardTrajectoryClassifier] = None,
             ) -> Tuple[float, List[TrainingRun]]:
         """Train across all seeds; returns (test score, per-seed runs)."""
-        cfg = self.trainer.config
-        runs = [
-            self.trainer.run(state_design, network_design, seed=seed,
-                             early_stopping=early_stopping)
-            for seed in self.seeds
-        ]
-        completed = [run for run in runs if not run.early_stopped]
-        scoring_runs = completed if completed else runs
-        per_seed = [run.smoothed_score(cfg.last_k_checkpoints)
-                    for run in scoring_runs]
-        finite = [s for s in per_seed if np.isfinite(s)]
-        score = float(np.median(finite)) if finite else float("-inf")
-        return score, runs
+        tasks = self._seed_tasks(state_design, network_design, early_stopping)
+        runs = parallel_map(_run_seed_task, tasks, self.parallel)
+        return self._aggregate(runs), runs
 
-    def score_design(self, design: Design,
-                     early_stopping: Optional[RewardTrajectoryClassifier] = None,
-                     ) -> float:
-        """Evaluate one design (paired with the original other component)."""
+    def run_many(self, jobs: Sequence[Tuple[Optional[Design], Optional[Design]]],
+                 early_stopping: Optional[RewardTrajectoryClassifier] = None,
+                 ) -> List[Tuple[float, List[TrainingRun]]]:
+        """Evaluate several (state, network) jobs in one flat (job, seed) sweep.
+
+        All ``len(jobs) * len(seeds)`` work items are submitted to a single
+        executor pass, which keeps every worker busy even when individual jobs
+        have fewer seeds than there are workers.  Per-job results come back in
+        job order with seeds in protocol order, exactly as if each job had
+        been run serially.
+        """
+        tasks: List[_SeedTask] = []
+        for state_design, network_design in jobs:
+            tasks.extend(self._seed_tasks(state_design, network_design,
+                                          early_stopping))
+        flat_runs = parallel_map(_run_seed_task, tasks, self.parallel)
+        num_seeds = len(self.seeds)
+        results: List[Tuple[float, List[TrainingRun]]] = []
+        for index in range(len(jobs)):
+            runs = list(flat_runs[index * num_seeds:(index + 1) * num_seeds])
+            results.append((self._aggregate(runs), runs))
+        return results
+
+    @staticmethod
+    def _design_job(design: Design) -> Tuple[Optional[Design], Optional[Design]]:
         kind = DesignKind(design.kind)
         state = design if kind == DesignKind.STATE else None
         network = design if kind == DesignKind.NETWORK else None
-        score, runs = self.run(state, network, early_stopping=early_stopping)
+        return state, network
+
+    @staticmethod
+    def _record_design(design: Design, score: float,
+                       runs: Sequence[TrainingRun]) -> float:
+        """Apply a (score, runs) result to a design's bookkeeping fields."""
         # Record the first seed's training history on the design for the
         # early-stopping corpus and the training-curve figures.
         if runs:
@@ -238,6 +324,28 @@ class TestScoreProtocol:
             return float("-inf")
         design.finalize(score)
         return score
+
+    def score_design(self, design: Design,
+                     early_stopping: Optional[RewardTrajectoryClassifier] = None,
+                     ) -> float:
+        """Evaluate one design (paired with the original other component)."""
+        state, network = self._design_job(design)
+        score, runs = self.run(state, network, early_stopping=early_stopping)
+        return self._record_design(design, score, runs)
+
+    def score_designs(self, designs: Sequence[Design],
+                      early_stopping: Optional[RewardTrajectoryClassifier] = None,
+                      ) -> List[float]:
+        """Evaluate a design sweep as one flat (design, seed) fan-out.
+
+        Equivalent to calling :meth:`score_design` on each design in order
+        (same scores, same per-design bookkeeping), but all work items share
+        one executor pass so parallel workers stay saturated across designs.
+        """
+        jobs = [self._design_job(design) for design in designs]
+        results = self.run_many(jobs, early_stopping=early_stopping)
+        return [self._record_design(design, score, runs)
+                for design, (score, runs) in zip(designs, results)]
 
     def score_original(self) -> float:
         """Evaluate the unmodified Pensieve design under the same protocol."""

@@ -1,0 +1,92 @@
+"""Process-parallel execution of independent evaluation work items.
+
+The §3.1 protocol is embarrassingly parallel: every (design, seed) training
+session is an independent, deterministic function of its inputs.  This module
+provides the one primitive the evaluation layer needs — an order-preserving
+``parallel_map`` — plus the configuration dataclass that is plumbed from the
+CLI (``--workers``) down to :class:`~repro.core.evaluation.TestScoreProtocol`.
+
+Design constraints:
+
+* **Determinism.** Results are returned in submission order, and each work
+  item runs exactly the same code it would run serially, so a parallel sweep
+  is bit-identical to the serial one regardless of scheduling.
+* **Graceful degradation.** ``max_workers <= 1`` (the default) runs inline
+  with zero overhead; if a process pool cannot be created (restricted
+  sandboxes, missing semaphores) the map falls back to the serial path with a
+  warning instead of failing the experiment.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+__all__ = ["ParallelConfig", "effective_workers", "parallel_map"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Environment variable consulted when ``max_workers`` is None.
+WORKERS_ENV_VAR = "REPRO_WORKERS"
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """How evaluation work items are executed.
+
+    Attributes:
+        max_workers: Process count for fan-out.  ``None`` reads
+            :data:`WORKERS_ENV_VAR` (defaulting to 1); any value <= 1 runs
+            serially in-process.
+        chunk_threshold: Fan out only when there are at least this many work
+            items; tiny sweeps are not worth the process start-up cost.
+    """
+
+    max_workers: Optional[int] = None
+    chunk_threshold: int = 2
+
+    def resolved_workers(self) -> int:
+        return effective_workers(self.max_workers)
+
+
+def effective_workers(max_workers: Optional[int] = None) -> int:
+    """Resolve a worker count: explicit value, else env var, else serial."""
+    if max_workers is None:
+        raw = os.environ.get(WORKERS_ENV_VAR, "1")
+        try:
+            max_workers = int(raw)
+        except ValueError:
+            warnings.warn(f"ignoring non-integer {WORKERS_ENV_VAR}={raw!r}")
+            max_workers = 1
+    if max_workers < 0:
+        max_workers = os.cpu_count() or 1
+    return max(1, max_workers)
+
+
+def parallel_map(fn: Callable[[T], R], items: Sequence[T],
+                 config: Optional[ParallelConfig] = None) -> List[R]:
+    """Map ``fn`` over ``items``, optionally across worker processes.
+
+    Results preserve the order of ``items``.  ``fn`` and every item must be
+    picklable when more than one worker is requested; the serial path has no
+    such requirement.  Pool construction errors degrade to the serial path
+    with a warning so experiments never die because of sandbox restrictions.
+    """
+    config = config or ParallelConfig()
+    items = list(items)
+    workers = config.resolved_workers()
+    if workers <= 1 or len(items) < max(config.chunk_threshold, 2):
+        return [fn(item) for item in items]
+    workers = min(workers, len(items))
+    try:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(fn, items))
+    except (OSError, PermissionError, pickle.PicklingError, AttributeError) as exc:
+        warnings.warn(
+            f"process pool unavailable ({exc!r}); falling back to serial execution")
+        return [fn(item) for item in items]

@@ -32,6 +32,7 @@ from .early_stopping import EarlyStoppingConfig, RewardTrajectoryClassifier
 from .evaluation import DesignTrainer, EvaluationConfig, TestScoreProtocol
 from .filters import FilterPipeline, FilterReport
 from .generation import DesignGenerator, GenerationConfig
+from .parallel import ParallelConfig
 from .prompts import PromptConfig
 
 __all__ = ["NadaConfig", "NadaResult", "NadaPipeline"]
@@ -60,6 +61,9 @@ class NadaConfig:
     min_bootstrap_designs: int = 5
     #: Base random seed for generation and training.
     seed: int = 0
+    #: Worker processes for the (design, seed) evaluation fan-out; None reads
+    #: the REPRO_WORKERS environment variable, <= 1 runs serially.
+    workers: Optional[int] = 1
 
     def __post_init__(self) -> None:
         if self.target not in ("state", "network", "both"):
@@ -131,7 +135,9 @@ class NadaPipeline:
                                                      seed=self.config.seed)
         self._trainer = DesignTrainer(video, train_traces, test_traces,
                                       config=self.config.evaluation, qoe=self.qoe)
-        self._protocol = TestScoreProtocol(self._trainer)
+        self._protocol = TestScoreProtocol(
+            self._trainer,
+            parallel=ParallelConfig(max_workers=self.config.workers))
 
     # ------------------------------------------------------------------ #
     @classmethod
@@ -184,23 +190,21 @@ class NadaPipeline:
             bootstrap, remainder = (survivors[:bootstrap_count],
                                     survivors[bootstrap_count:])
             # Stage 3: bootstrap full training to build the labelled corpus.
-            for design in bootstrap:
-                self._protocol.score_design(design)
-                fully_trained += 1
+            # One flat (design, seed) fan-out keeps all workers busy.
+            self._protocol.score_designs(bootstrap)
+            fully_trained += len(bootstrap)
             corpus = [d for d in bootstrap if d.reward_history and d.test_score is not None]
             if len(corpus) >= 4:
                 early_stopper = RewardTrajectoryClassifier(cfg.early_stopping)
                 early_stopper.fit([d.reward_history for d in corpus],
                                   [d.test_score for d in corpus])
             # Stage 4: evaluate the rest with early stopping.
-            for design in remainder:
-                self._protocol.score_design(design, early_stopping=early_stopper)
-                if design.status != DesignStatus.EARLY_STOPPED:
-                    fully_trained += 1
+            self._protocol.score_designs(remainder, early_stopping=early_stopper)
+            fully_trained += sum(design.status != DesignStatus.EARLY_STOPPED
+                                 for design in remainder)
         else:
-            for design in survivors:
-                self._protocol.score_design(design)
-                fully_trained += 1
+            self._protocol.score_designs(survivors)
+            fully_trained += len(survivors)
 
         early_stopped = pool.with_status(DesignStatus.EARLY_STOPPED)
         best = pool.best()

@@ -46,19 +46,24 @@ from .serialization import load_module, load_state, save_module, save_state
 from .tensor import (
     Tensor,
     concatenate,
+    default_dtype,
+    get_default_dtype,
     is_grad_enabled,
     no_grad,
     ones,
     randn,
+    set_default_dtype,
     stack,
     tensor,
+    unfold1d,
     zeros,
 )
 
 __all__ = [
     # tensor
     "Tensor", "tensor", "zeros", "ones", "randn", "concatenate", "stack",
-    "no_grad", "is_grad_enabled",
+    "unfold1d", "no_grad", "is_grad_enabled",
+    "set_default_dtype", "get_default_dtype", "default_dtype",
     # layers
     "Module", "Parameter", "Dense", "Conv1D", "GRUCell", "LSTMCell", "RNNCell",
     "Recurrent", "Flatten", "Dropout", "Sequential", "LayerNorm",

@@ -14,7 +14,7 @@ import numpy as np
 
 from . import init as initializers
 from .activations import get_activation
-from .tensor import Tensor, concatenate, stack
+from .tensor import Tensor, concatenate, stack, unfold1d
 
 __all__ = [
     "Module",
@@ -37,6 +37,9 @@ class Parameter(Tensor):
 
     def __init__(self, data: np.ndarray, name: str = "") -> None:
         super().__init__(data, requires_grad=True, name=name)
+        #: Bumped on every optimizer step / state load; lets inference caches
+        #: (e.g. the folded Pensieve tower) detect weight changes cheaply.
+        self.version = 0
 
 
 class Module:
@@ -143,7 +146,8 @@ class Module:
             path = f"{prefix}{key}"
             if isinstance(value, Parameter):
                 if path in state:
-                    value.data = np.asarray(state[path], dtype=np.float64).reshape(value.data.shape)
+                    value.data = np.asarray(state[path], dtype=value.data.dtype).reshape(value.data.shape)
+                    value.version = getattr(value, "version", 0) + 1
             elif isinstance(value, Module):
                 value._load_from(state, prefix=f"{path}.")
             elif isinstance(value, (list, tuple)):
@@ -151,7 +155,8 @@ class Module:
                     if isinstance(item, Parameter):
                         item_path = f"{path}.{index}"
                         if item_path in state:
-                            item.data = np.asarray(state[item_path], dtype=np.float64).reshape(item.data.shape)
+                            item.data = np.asarray(state[item_path], dtype=item.data.dtype).reshape(item.data.shape)
+                            item.version = getattr(item, "version", 0) + 1
                     elif isinstance(item, Module):
                         item._load_from(state, prefix=f"{path}.{index}.")
 
@@ -173,6 +178,10 @@ class Dense(Module):
         self.weight = Parameter(initializers.xavier_uniform((in_features, out_features), rng=rng),
                                 name="dense.weight")
         self.bias = Parameter(np.zeros(out_features), name="dense.bias") if bias else None
+        # "custom" marks a callable activation the fast inference path cannot
+        # replicate; it forces inference back through the autograd forward.
+        self.activation_name = (activation if isinstance(activation, str) or activation is None
+                                else "custom")
         self.activation = get_activation(activation)
 
     def forward(self, x: Tensor) -> Tensor:
@@ -209,6 +218,8 @@ class Conv1D(Module):
             name="conv1d.weight",
         )
         self.bias = Parameter(np.zeros(out_channels), name="conv1d.bias") if bias else None
+        self.activation_name = (activation if isinstance(activation, str) or activation is None
+                                else "custom")
         self.activation = get_activation(activation)
 
     def forward(self, x: Tensor) -> Tensor:
@@ -225,15 +236,10 @@ class Conv1D(Module):
             raise ValueError(
                 f"Conv1D input length {length} is shorter than kernel size {kernel}"
             )
-        positions = list(range(0, length - kernel + 1, self.stride))
         # im2col: build a (batch, positions, channels * kernel) view of the input
         # and express the convolution as a single matrix multiplication so the
         # autograd graph stays small.
-        columns = []
-        for start in positions:
-            patch = x[:, :, start:start + kernel].reshape(batch, channels * kernel)
-            columns.append(patch)
-        stacked = stack(columns, axis=1)  # (batch, positions, channels*kernel)
+        stacked = unfold1d(x, kernel, self.stride)  # (batch, positions, channels*kernel)
         flat_weight = Tensor(self.weight.data.reshape(self.out_channels, channels * kernel))
         flat_weight.requires_grad = self.weight.requires_grad
 

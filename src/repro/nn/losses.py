@@ -58,7 +58,7 @@ def policy_gradient_loss(log_probs: Tensor, advantages: np.ndarray) -> Tensor:
     Advantages are treated as constants (no gradient flows through them),
     matching the standard actor-critic formulation.
     """
-    adv = Tensor(np.asarray(advantages, dtype=np.float64))
+    adv = Tensor(np.asarray(advantages))
     return -(log_probs * adv).mean()
 
 

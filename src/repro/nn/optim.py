@@ -20,12 +20,11 @@ def clip_grad_norm(parameters: Sequence[Parameter], max_norm: float) -> float:
     grads = [p.grad for p in parameters if p.grad is not None]
     if not grads:
         return 0.0
-    total = float(np.sqrt(sum(float((g ** 2).sum()) for g in grads)))
+    total = float(np.sqrt(sum(float(np.vdot(g, g).real) for g in grads)))
     if total > max_norm and total > 0.0:
         scale = max_norm / total
-        for p in parameters:
-            if p.grad is not None:
-                p.grad = p.grad * scale
+        for g in grads:
+            g *= scale
     return total
 
 
@@ -72,6 +71,7 @@ class SGD(Optimizer):
             else:
                 update = grad
             p.data = p.data - self.lr * update
+            p.version = getattr(p, "version", 0) + 1
 
 
 class RMSProp(Optimizer):
@@ -83,14 +83,25 @@ class RMSProp(Optimizer):
         self.decay = decay
         self.eps = eps
         self._square_avg = [np.zeros_like(p.data) for p in self.parameters]
+        self._scratch = [np.empty_like(p.data) for p in self.parameters]
 
     def step(self) -> None:
-        for p, square_avg in zip(self.parameters, self._square_avg):
+        # Fused in-place update: the step is memory-bandwidth bound on the
+        # large dense weights, so every avoided temporary is wall-clock.
+        for p, square_avg, scratch in zip(self.parameters, self._square_avg,
+                                          self._scratch):
             if p.grad is None:
                 continue
             square_avg *= self.decay
-            square_avg += (1.0 - self.decay) * p.grad ** 2
-            p.data = p.data - self.lr * p.grad / (np.sqrt(square_avg) + self.eps)
+            np.multiply(p.grad, p.grad, out=scratch)
+            scratch *= (1.0 - self.decay)
+            square_avg += scratch
+            np.sqrt(square_avg, out=scratch)
+            scratch += self.eps
+            np.divide(p.grad, scratch, out=scratch)
+            scratch *= self.lr
+            p.data -= scratch
+            p.version = getattr(p, "version", 0) + 1
 
 
 class Adam(Optimizer):
@@ -106,21 +117,32 @@ class Adam(Optimizer):
         self._step_count = 0
         self._m = [np.zeros_like(p.data) for p in self.parameters]
         self._v = [np.zeros_like(p.data) for p in self.parameters]
+        self._scratch = [np.empty_like(p.data) for p in self.parameters]
 
     def step(self) -> None:
         self._step_count += 1
         bias1 = 1.0 - self.beta1 ** self._step_count
         bias2 = 1.0 - self.beta2 ** self._step_count
-        for p, m, v in zip(self.parameters, self._m, self._v):
+        for p, m, v, scratch in zip(self.parameters, self._m, self._v,
+                                    self._scratch):
             if p.grad is None:
                 continue
             grad = p.grad
             if self.weight_decay:
                 grad = grad + self.weight_decay * p.data
             m *= self.beta1
-            m += (1.0 - self.beta1) * grad
+            np.multiply(grad, 1.0 - self.beta1, out=scratch)
+            m += scratch
             v *= self.beta2
-            v += (1.0 - self.beta2) * grad ** 2
-            m_hat = m / bias1
-            v_hat = v / bias2
-            p.data = p.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            np.multiply(grad, grad, out=scratch)
+            scratch *= 1.0 - self.beta2
+            v += scratch
+            # denom = sqrt(v / bias2) + eps, then update = lr * (m / bias1) / denom
+            np.divide(v, bias2, out=scratch)
+            np.sqrt(scratch, out=scratch)
+            scratch += self.eps
+            scratch *= bias1
+            np.divide(m, scratch, out=scratch)
+            scratch *= self.lr
+            p.data -= scratch
+            p.version = getattr(p, "version", 0) + 1

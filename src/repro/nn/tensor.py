@@ -31,10 +31,57 @@ __all__ = [
     "stack",
     "no_grad",
     "is_grad_enabled",
+    "set_default_dtype",
+    "get_default_dtype",
+    "default_dtype",
 ]
 
 
 _GRAD_ENABLED = True
+
+#: Floating-point dtype used for all tensor data and gradients.  float64 is
+#: the accuracy-first default; float32 is the fast path (half the memory
+#: traffic on the matmul-heavy actor-critic workload).
+_DEFAULT_DTYPE = np.dtype(np.float64)
+
+_SUPPORTED_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
+
+
+def set_default_dtype(dtype: Union[str, np.dtype, type]) -> np.dtype:
+    """Set the global tensor dtype ("float32" or "float64").
+
+    Returns the previous default so callers can restore it.  Tensors created
+    before the switch keep their dtype; mixing is handled by NumPy promotion.
+    """
+    global _DEFAULT_DTYPE
+    resolved = np.dtype(dtype)
+    if resolved not in _SUPPORTED_DTYPES:
+        raise ValueError(
+            f"unsupported tensor dtype {dtype!r}; choose float32 or float64")
+    previous = _DEFAULT_DTYPE
+    _DEFAULT_DTYPE = resolved
+    return previous
+
+
+def get_default_dtype() -> np.dtype:
+    """Return the dtype new tensors and gradients are created with."""
+    return _DEFAULT_DTYPE
+
+
+class default_dtype:
+    """Context manager that temporarily switches the tensor dtype."""
+
+    def __init__(self, dtype: Union[str, np.dtype, type]) -> None:
+        self._dtype = dtype
+        self._previous: Optional[np.dtype] = None
+
+    def __enter__(self) -> "default_dtype":
+        self._previous = set_default_dtype(self._dtype)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._previous is not None:
+            set_default_dtype(self._previous)
 
 
 class no_grad:
@@ -63,7 +110,7 @@ def is_grad_enabled() -> bool:
 def _as_array(value: ArrayLike) -> np.ndarray:
     if isinstance(value, Tensor):
         return value.data
-    return np.asarray(value, dtype=np.float64)
+    return np.asarray(value, dtype=_DEFAULT_DTYPE)
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
@@ -93,7 +140,7 @@ class Tensor:
         backward: Optional[Callable[[np.ndarray], None]] = None,
         name: str = "",
     ) -> None:
-        self.data = np.asarray(data, dtype=np.float64)
+        self.data = np.asarray(data, dtype=_DEFAULT_DTYPE)
         self.grad: Optional[np.ndarray] = None
         self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
         self._parents = tuple(parents) if self.requires_grad or parents else ()
@@ -149,7 +196,7 @@ class Tensor:
         return Tensor(data, requires_grad=True, parents=parents, backward=backward)
 
     def _accumulate(self, grad: np.ndarray) -> None:
-        grad = _unbroadcast(np.asarray(grad, dtype=np.float64), self.data.shape)
+        grad = _unbroadcast(np.asarray(grad, dtype=_DEFAULT_DTYPE), self.data.shape)
         if self.grad is None:
             self.grad = grad.copy()
         else:
@@ -360,7 +407,7 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             if not self.requires_grad:
                 return
-            grad = np.asarray(grad, dtype=np.float64)
+            grad = np.asarray(grad, dtype=_DEFAULT_DTYPE)
             if axis is None:
                 self._accumulate(np.full_like(self.data, float(grad)))
             else:
@@ -383,7 +430,7 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             if not self.requires_grad:
                 return
-            grad = np.asarray(grad, dtype=np.float64)
+            grad = np.asarray(grad, dtype=_DEFAULT_DTYPE)
             if axis is None:
                 mask = self.data == out_data
                 self._accumulate(mask * float(grad) / mask.sum())
@@ -450,7 +497,7 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             if not self.requires_grad:
                 return
-            grad = np.asarray(grad, dtype=np.float64)
+            grad = np.asarray(grad, dtype=_DEFAULT_DTYPE)
             dot = (grad * out_data).sum(axis=axis, keepdims=True)
             self._accumulate(out_data * (grad - dot))
 
@@ -465,7 +512,7 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             if not self.requires_grad:
                 return
-            grad = np.asarray(grad, dtype=np.float64)
+            grad = np.asarray(grad, dtype=_DEFAULT_DTYPE)
             self._accumulate(grad - softmax * grad.sum(axis=axis, keepdims=True))
 
         return Tensor._make(out_data, (self,), backward)
@@ -481,7 +528,7 @@ class Tensor:
             if self.data.size != 1:
                 raise RuntimeError("grad must be provided for non-scalar tensors")
             grad = np.ones_like(self.data)
-        grad = np.asarray(grad, dtype=np.float64)
+        grad = np.asarray(grad, dtype=_DEFAULT_DTYPE)
 
         topo: list[Tensor] = []
         visited: set[int] = set()
@@ -514,11 +561,11 @@ def tensor(data: ArrayLike, requires_grad: bool = False) -> Tensor:
 
 
 def zeros(shape: Union[int, tuple], requires_grad: bool = False) -> Tensor:
-    return Tensor(np.zeros(shape), requires_grad=requires_grad)
+    return Tensor(np.zeros(shape, dtype=_DEFAULT_DTYPE), requires_grad=requires_grad)
 
 
 def ones(shape: Union[int, tuple], requires_grad: bool = False) -> Tensor:
-    return Tensor(np.ones(shape), requires_grad=requires_grad)
+    return Tensor(np.ones(shape, dtype=_DEFAULT_DTYPE), requires_grad=requires_grad)
 
 
 def randn(
@@ -539,7 +586,7 @@ def concatenate(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
     offsets = np.cumsum([0] + sizes)
 
     def backward(grad: np.ndarray) -> None:
-        grad = np.asarray(grad, dtype=np.float64)
+        grad = np.asarray(grad, dtype=_DEFAULT_DTYPE)
         for t, start, end in zip(tensors, offsets[:-1], offsets[1:]):
             if t.requires_grad:
                 slicer = [slice(None)] * grad.ndim
@@ -549,13 +596,48 @@ def concatenate(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
     return Tensor._make(out_data, tuple(tensors), backward)
 
 
+def unfold1d(x: Tensor, kernel_size: int, stride: int = 1) -> Tensor:
+    """Extract sliding windows from a ``(batch, channels, length)`` tensor.
+
+    Returns a ``(batch, positions, channels * kernel_size)`` tensor whose rows
+    are the flattened convolution patches, i.e. the im2col matrix.  The whole
+    extraction is a single autograd node, which keeps Conv1D graphs small.
+    """
+    if x.ndim != 3:
+        raise ValueError("unfold1d expects a (batch, channels, length) tensor")
+    batch, channels, length = x.shape
+    if length < kernel_size:
+        raise ValueError(
+            f"unfold1d input length {length} is shorter than kernel {kernel_size}")
+    # (batch, channels, positions, kernel) view without copying.
+    windows = np.lib.stride_tricks.sliding_window_view(
+        x.data, kernel_size, axis=2)[:, :, ::stride]
+    positions = windows.shape[2]
+    out_data = np.ascontiguousarray(
+        windows.transpose(0, 2, 1, 3)).reshape(batch, positions, channels * kernel_size)
+
+    def backward(grad: np.ndarray) -> None:
+        if not x.requires_grad:
+            return
+        grad = np.asarray(grad, dtype=_DEFAULT_DTYPE)
+        patches = grad.reshape(batch, positions, channels, kernel_size)
+        full = np.zeros_like(x.data)
+        starts = np.arange(positions) * stride
+        # Kernel sizes are small (<= history length), so scatter per tap.
+        for tap in range(kernel_size):
+            full[:, :, starts + tap] += patches[:, :, :, tap].transpose(0, 2, 1)
+        x._accumulate(full)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
 def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
     """Stack tensors along a new axis, propagating gradients to each input."""
     tensors = [t if isinstance(t, Tensor) else Tensor(_as_array(t)) for t in tensors]
     out_data = np.stack([t.data for t in tensors], axis=axis)
 
     def backward(grad: np.ndarray) -> None:
-        grad = np.asarray(grad, dtype=np.float64)
+        grad = np.asarray(grad, dtype=_DEFAULT_DTYPE)
         for index, t in enumerate(tensors):
             if t.requires_grad:
                 t._accumulate(np.take(grad, index, axis=axis))

@@ -15,7 +15,7 @@ from typing import Callable, List, Optional, Sequence
 import numpy as np
 
 from .. import nn
-from ..abr.env import SimulatorConfig
+from ..abr.env import SimulatorConfig, StreamingSession
 from ..abr.qoe import LinearQoE, QoEMetric
 from ..abr.video import Video
 from ..traces.base import TraceSet
@@ -24,7 +24,8 @@ from .policy import action_entropy, log_prob_of
 from .rollout import Trajectory, collect_episode, discounted_returns
 from .schedules import ConstantSchedule, LinearSchedule
 
-__all__ = ["A2CConfig", "EpochStats", "A2CTrainer", "evaluate_agent"]
+__all__ = ["A2CConfig", "EpochStats", "A2CTrainer", "evaluate_agent",
+           "evaluate_agent_batched"]
 
 
 @dataclass(frozen=True)
@@ -133,16 +134,38 @@ class A2CTrainer:
 
     # ------------------------------------------------------------------ #
     def _update(self, trajectory: Trajectory, trace_name: str) -> EpochStats:
-        states = nn.tensor(trajectory.stacked_states())
         actions = np.asarray(trajectory.actions, dtype=np.int64)
         returns = discounted_returns(trajectory.rewards, self.config.gamma)
+        entropy_weight = self._entropy_schedule(self.epoch)
+        network = self.agent.network
 
+        if network.supports_fused_update():
+            actor_loss, critic_loss, entropy, grad_norm = self._fused_update(
+                trajectory.stacked_states(), actions, returns, entropy_weight)
+        else:
+            actor_loss, critic_loss, entropy, grad_norm = self._graph_update(
+                trajectory.stacked_states(), actions, returns, entropy_weight)
+
+        return EpochStats(
+            epoch=self.epoch,
+            episode_reward=trajectory.total_reward,
+            mean_chunk_reward=trajectory.mean_reward,
+            actor_loss=float(actor_loss),
+            critic_loss=float(critic_loss),
+            entropy=float(entropy),
+            grad_norm=float(grad_norm),
+            trace_name=trace_name,
+        )
+
+    def _graph_update(self, states_array: np.ndarray, actions: np.ndarray,
+                      returns: np.ndarray, entropy_weight: float):
+        """One actor-critic update through the autograd graph."""
+        states = nn.tensor(states_array)
         logits, values = self.agent.network.forward(states)
         advantages = returns - values.numpy()
 
         log_probs = log_prob_of(logits, actions)
         entropy = action_entropy(logits)
-        entropy_weight = self._entropy_schedule(self.epoch)
 
         actor_loss = nn.policy_gradient_loss(log_probs, advantages)
         critic_loss = nn.mse_loss(values, nn.tensor(returns))
@@ -155,29 +178,73 @@ class A2CTrainer:
         grad_norm = nn.clip_grad_norm(self.agent.network.parameters(),
                                       self.config.max_grad_norm)
         self._optimizer.step()
+        return (float(actor_loss.item()), float(critic_loss.item()),
+                float(entropy.item()), float(grad_norm))
 
-        return EpochStats(
-            epoch=self.epoch,
-            episode_reward=trajectory.total_reward,
-            mean_chunk_reward=trajectory.mean_reward,
-            actor_loss=float(actor_loss.item()),
-            critic_loss=float(critic_loss.item()),
-            entropy=float(entropy.item()),
-            grad_norm=float(grad_norm),
-            trace_name=trace_name,
-        )
+    def _fused_update(self, states_array: np.ndarray, actions: np.ndarray,
+                      returns: np.ndarray, entropy_weight: float):
+        """One actor-critic update via the network's analytic fast path.
+
+        Computes the same losses and gradients as :meth:`_graph_update`
+        (verified against it in the test suite) with hand-derived loss
+        gradients instead of an autograd graph:
+
+        * actor: ``d logits = -(adv / B) * (onehot(a) - softmax)``
+        * entropy bonus: ``d logits = (w_e / B) * p * (log p + H)``
+        * critic: ``d value = c_v * 2/B * (v - R)``
+        """
+        network = self.agent.network
+        cache, logits, values = network.fused_forward(states_array)
+        batch = logits.shape[0]
+        # Stay in the network dtype end to end: a float64 returns vector would
+        # silently upcast every gradient GEMM below.
+        returns = np.asarray(returns, dtype=logits.dtype)
+        advantages = returns - values
+
+        # Stable log-softmax / softmax from the raw logits.
+        shifted = logits - logits.max(axis=-1, keepdims=True)
+        log_probs = shifted - np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+        probs = np.exp(log_probs)
+        picked = log_probs[np.arange(batch), actions]
+        row_entropy = -(probs * log_probs).sum(axis=-1)
+
+        actor_loss = -float(np.mean(picked * advantages))
+        critic_loss = float(np.mean((values - returns) ** 2))
+        entropy = float(np.mean(row_entropy))
+
+        one_hot = np.zeros_like(probs)
+        one_hot[np.arange(batch), actions] = 1.0
+        d_logits = (-(advantages[:, None] / batch) * (one_hot - probs)
+                    + (entropy_weight / batch) * probs
+                    * (log_probs + row_entropy[:, None]))
+        d_values = (self.config.value_loss_coefficient * 2.0 / batch
+                    * (values - returns))
+
+        self._optimizer.zero_grad()
+        network.fused_backward(cache, d_logits, d_values)
+        grad_norm = nn.clip_grad_norm(network.parameters(),
+                                      self.config.max_grad_norm)
+        self._optimizer.step()
+        return actor_loss, critic_loss, entropy, float(grad_norm)
 
 
 def evaluate_agent(agent: ABRAgent, video: Video, traces: TraceSet,
                    qoe: Optional[QoEMetric] = None,
                    simulator_config: Optional[SimulatorConfig] = None,
                    greedy: bool = True,
-                   seed: Optional[int] = None) -> float:
+                   seed: Optional[int] = None,
+                   batched: bool = True) -> float:
     """Mean per-chunk reward of ``agent`` across every trace in ``traces``.
 
     This is the quantity plotted on the y-axis of Figures 3 and 4 ("test
-    score" before seed-aggregation).
+    score" before seed-aggregation).  With ``batched=True`` (default) greedy,
+    noise-free evaluations step every trace in lockstep with one batched
+    policy forward per chunk — same decisions, a fraction of the forwards.
     """
+    noise_free = simulator_config is None or simulator_config.bandwidth_noise_std == 0
+    if batched and greedy and noise_free and len(traces) > 1:
+        return evaluate_agent_batched(agent, video, traces, qoe=qoe,
+                                      simulator_config=simulator_config)
     rng = np.random.default_rng(seed)
     qoe = qoe or LinearQoE(video.bitrates_kbps)
     rewards = []
@@ -186,4 +253,31 @@ def evaluate_agent(agent: ABRAgent, video: Video, traces: TraceSet,
                                      config=simulator_config, rng=rng,
                                      greedy=greedy)
         rewards.append(trajectory.mean_reward)
+    return float(np.mean(rewards))
+
+
+def evaluate_agent_batched(agent: ABRAgent, video: Video, traces: TraceSet,
+                           qoe: Optional[QoEMetric] = None,
+                           simulator_config: Optional[SimulatorConfig] = None,
+                           ) -> float:
+    """Greedy evaluation of ``agent`` on all traces in lockstep.
+
+    Every session streams the same video, so all of them need exactly
+    ``video.num_chunks`` decisions; each decision round stacks the per-session
+    states and runs one batched policy forward.  Greedy decisions consume no
+    randomness, so this returns the same per-trace decisions as the serial
+    path (the simulator RNG is only touched by bandwidth noise, which the
+    caller must disable to use this path).
+    """
+    qoe = qoe or LinearQoE(video.bitrates_kbps)
+    sessions = [StreamingSession(video, trace, qoe=qoe, config=simulator_config)
+                for trace in traces]
+    for _ in range(video.num_chunks):
+        states = np.stack([agent.state_of(session.observe())
+                           for session in sessions], axis=0)
+        probs = agent.batch_action_probabilities(states)
+        actions = np.argmax(probs, axis=-1)
+        for session, action in zip(sessions, actions):
+            session.step(int(action))
+    rewards = [session.result().mean_reward for session in sessions]
     return float(np.mean(rewards))

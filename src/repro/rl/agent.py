@@ -60,11 +60,17 @@ class ABRAgent:
         return self.state_function(observation)
 
     def action_probabilities(self, state: np.ndarray) -> np.ndarray:
-        """Forward pass without gradient tracking; returns action probabilities."""
-        with nn.no_grad():
-            batch = nn.tensor(state[None, ...])
-            probs = self.network.policy(batch)
-        return probs.numpy()[0]
+        """Inference forward pass; returns action probabilities.
+
+        Dispatches through :meth:`ActorCriticNetwork.policy_probs`, which uses
+        a pure-NumPy actor-tower forward when the architecture supports it and
+        falls back to the autograd graph under ``no_grad`` otherwise.
+        """
+        return self.network.policy_probs(state[None, ...])[0]
+
+    def batch_action_probabilities(self, states: np.ndarray) -> np.ndarray:
+        """Action probabilities for a ``(batch, *state_shape)`` array of states."""
+        return self.network.policy_probs(states)
 
     def act(self, observation: Observation, greedy: bool = False) -> int:
         """Choose a bitrate for the next chunk."""

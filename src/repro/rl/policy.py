@@ -15,17 +15,20 @@ def sample_action(probabilities: np.ndarray, rng: np.random.Generator) -> int:
     """Sample an action index from a probability vector.
 
     Probabilities are re-normalized defensively: generated architectures can
-    produce slightly unnormalized outputs due to numerical error.
+    produce slightly unnormalized outputs due to numerical error.  Sampling is
+    one uniform draw inverted through the cumulative distribution, which is
+    what ``rng.choice`` does without its per-call validation overhead (this
+    sits on the per-chunk training hot path).
     """
-    probs = np.asarray(probabilities, dtype=np.float64).ravel()
-    probs = np.clip(probs, 0.0, None)
-    total = probs.sum()
+    probs = np.maximum(np.asarray(probabilities, dtype=np.float64).ravel(), 0.0)
+    cumulative = np.cumsum(probs)
+    total = float(cumulative[-1])
     if not np.isfinite(total) or total <= 0:
         # Degenerate distribution: fall back to uniform.
-        probs = np.full(len(probs), 1.0 / len(probs))
-    else:
-        probs = probs / total
-    return int(rng.choice(len(probs), p=probs))
+        return min(int(rng.random() * len(probs)), len(probs) - 1)
+    draw = rng.random() * total
+    return min(int(np.searchsorted(cumulative, draw, side="right")),
+               len(probs) - 1)
 
 
 def greedy_action(probabilities: np.ndarray) -> int:

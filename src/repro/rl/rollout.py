@@ -43,12 +43,37 @@ class Trajectory:
 
 def discounted_returns(rewards: List[float], gamma: float,
                        bootstrap_value: float = 0.0) -> np.ndarray:
-    """Compute discounted returns ``G_t = r_t + gamma * G_{t+1}``."""
-    returns = np.zeros(len(rewards))
-    running = bootstrap_value
-    for index in reversed(range(len(rewards))):
-        running = rewards[index] + gamma * running
-        returns[index] = running
+    """Compute discounted returns ``G_t = r_t + gamma * G_{t+1}``, vectorized.
+
+    The scan is expressed as a reversed cumulative sum of ``r_t / gamma^t``
+    rescaled by ``gamma^t``.  Because ``gamma^-t`` overflows/underflows for
+    long horizons, the episode is processed in blocks sized so the power ratio
+    inside a block stays well conditioned; the running return carries the
+    bootstrap across blocks exactly like the scalar recurrence.
+    """
+    rewards_array = np.asarray(rewards, dtype=np.float64)
+    n = rewards_array.size
+    returns = np.empty(n, dtype=np.float64)
+    running = float(bootstrap_value)
+    if n == 0:
+        return returns
+    if gamma == 0.0:
+        return rewards_array.copy()
+    if gamma == 1.0:
+        returns[:] = np.cumsum(rewards_array[::-1])[::-1]
+        returns += running
+        return returns
+    # Largest block for which gamma^block stays above ~1e-8 (so dividing by
+    # the power vector loses at most ~8 of the 15 float64 digits).
+    block = int(min(512.0, max(1.0, -8.0 / np.log10(abs(gamma)))))
+    for end in range(n, 0, -block):
+        start = max(0, end - block)
+        segment = rewards_array[start:end]
+        size = segment.size
+        powers = gamma ** np.arange(size)
+        tail = np.cumsum((segment * powers)[::-1])[::-1]
+        returns[start:end] = tail / powers + running * gamma ** np.arange(size, 0, -1)
+        running = float(returns[start])
     return returns
 
 

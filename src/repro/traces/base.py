@@ -45,6 +45,10 @@ class Trace:
             raise ValueError("timestamps must be strictly increasing")
         if np.any(self.throughputs_mbps < 0):
             raise ValueError("throughputs must be non-negative")
+        #: Lazily built capacity prefix sums, keyed by the throughput floor
+        #: (Mbit/s) applied to each segment; see :meth:`capacity_prefix`.
+        self._capacity_cache: dict = {}
+        self._relative_times: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:
@@ -89,6 +93,43 @@ class Trace:
             start = float(self.timestamps_s[i])
             duration = float(self.timestamps_s[i + 1] - self.timestamps_s[i])
             yield start, duration, float(self.throughputs_mbps[i])
+
+    @property
+    def relative_times_s(self) -> np.ndarray:
+        """Sample times re-based so the first sample sits at zero (cached)."""
+        if self._relative_times is None:
+            self._relative_times = self.timestamps_s - self.timestamps_s[0]
+        return self._relative_times
+
+    def capacity_prefix(self, floor_mbps: float = 0.0) -> Tuple[np.ndarray, np.ndarray]:
+        """Cumulative link capacity at each sample, with a per-segment rate floor.
+
+        Returns ``(cumulative_mbit, floored_rates_mbps)`` where
+        ``cumulative_mbit[i]`` is the Mbit deliverable from the start of the
+        trace to ``timestamps_s[i]`` when every segment's throughput is floored
+        at ``floor_mbps`` (a positive floor makes the prefix strictly
+        increasing, which is what lets the simulator binary-search it).  The
+        last sample's throughput never contributes: cyclic replay wraps from
+        the final timestamp straight back to the first segment.
+
+        Results are cached per floor; the common case (no bandwidth noise)
+        reuses one cached pair for every chunk download.  The cache is
+        bounded: bandwidth noise makes every download use a distinct floor,
+        and caching those would grow without limit, so past the first few
+        floors the arrays are computed fresh and not retained.
+        """
+        key = float(floor_mbps)
+        cached = self._capacity_cache.get(key)
+        if cached is None:
+            durations = np.diff(self.timestamps_s)
+            rates = np.maximum(self.throughputs_mbps[:-1], key)
+            cumulative = np.empty(len(self.timestamps_s), dtype=np.float64)
+            cumulative[0] = 0.0
+            np.cumsum(rates * durations, out=cumulative[1:])
+            cached = (cumulative, rates)
+            if len(self._capacity_cache) < 8:
+                self._capacity_cache[key] = cached
+        return cached
 
     # ------------------------------------------------------------------ #
     def scaled(self, factor: float, name: Optional[str] = None) -> "Trace":
