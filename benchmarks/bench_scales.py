@@ -10,8 +10,13 @@ Run this module directly to measure the evaluation engine::
 
     PYTHONPATH=src python benchmarks/bench_scales.py --json benchmarks/BENCH_baseline.json
 
-It scores the original Pensieve design plus a few generated designs under the
-§3.1 protocol twice:
+Two A/B modes are available.  ``--mode multi-seed`` (committed report:
+``benchmarks/BENCH_multiseed.json``) compares the optimized per-seed engine
+against the multi-seed lockstep trainer on the paper's 5-seed protocol —
+same optimized substrate on both sides, only the training engine differs,
+and the scores must agree exactly.  The default ``--mode engine`` scores the
+original Pensieve design plus a few generated designs under the §3.1
+protocol twice:
 
 * **seed mode** — the seed repository's implementation: per-segment trace
   walk, one policy forward per chunk through the autograd graph, serial
@@ -241,6 +246,7 @@ def run_protocol_workload(scale: ExperimentScale,
                           batched_evaluation: bool,
                           workers: int = 1,
                           designs: Optional[list] = None,
+                          lockstep: bool = False,
                           ) -> Tuple[float, Dict[str, float]]:
     """Score the original design plus the given generated states.
 
@@ -249,7 +255,8 @@ def run_protocol_workload(scale: ExperimentScale,
     setup = build_environment("fcc", scale)
     config = replace(scale.evaluation_config(),
                      simulator=SimulatorConfig(download_engine=download_engine),
-                     batched_evaluation=batched_evaluation)
+                     batched_evaluation=batched_evaluation,
+                     lockstep_training=lockstep)
     trainer = DesignTrainer(setup.video, setup.train_traces, setup.test_traces,
                             config=config, qoe=setup.qoe)
     protocol = TestScoreProtocol(trainer,
@@ -305,9 +312,71 @@ def run_benchmark(scale: ExperimentScale = DEFAULT_BENCH_SCALE,
     }
 
 
+def run_multi_seed_benchmark(scale: Optional[ExperimentScale] = None,
+                             dtype: str = "float32",
+                             num_seeds: int = 5,
+                             num_designs: int = DEFAULT_BENCH_DESIGNS) -> dict:
+    """A/B the per-seed optimized engine against the multi-seed lockstep engine.
+
+    Both modes run the full optimized substrate (prefix-sum downloads, folded
+    inference, batched checkpoint evaluation); the only difference is the
+    training engine: ``num_seeds`` serial :class:`~repro.rl.a2c.A2CTrainer`
+    sessions versus one :class:`~repro.rl.a2c.MultiSeedA2CTrainer` advancing
+    every seed through stacked-weight batched updates.  The protocol is
+    seed-for-seed deterministic either way, so the report's
+    ``max_score_delta`` is expected to be exactly 0.0.
+    """
+    scale = replace(scale or DEFAULT_BENCH_SCALE, num_seeds=num_seeds)
+    designs = _bench_designs(scale, num_designs)
+    previous_dtype = nn.set_default_dtype(dtype)
+    try:
+        per_seed_seconds, per_seed_scores = run_protocol_workload(
+            scale, download_engine="prefix_sum", batched_evaluation=True,
+            workers=1, designs=designs, lockstep=False)
+        lockstep_seconds, lockstep_scores = run_protocol_workload(
+            scale, download_engine="prefix_sum", batched_evaluation=True,
+            workers=1, designs=designs, lockstep=True)
+    finally:
+        nn.set_default_dtype(previous_dtype)
+
+    score_delta = max(abs(per_seed_scores[k] - lockstep_scores[k])
+                      for k in per_seed_scores)
+    return {
+        "workload": {
+            "environment": "fcc",
+            "train_epochs": scale.train_epochs,
+            "checkpoint_interval": scale.checkpoint_interval,
+            "num_seeds": scale.num_seeds,
+            "num_chunks": scale.num_chunks,
+            "dataset_scale": scale.dataset_scale,
+            "designs_scored": num_designs + 1,
+            "dtype": dtype,
+        },
+        "per_seed_mode": {"seconds": round(per_seed_seconds, 3),
+                          "scores": per_seed_scores},
+        "lockstep_mode": {"seconds": round(lockstep_seconds, 3),
+                          "scores": lockstep_scores},
+        "speedup": round(per_seed_seconds / lockstep_seconds, 2),
+        "max_score_delta": score_delta,
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def _write_json(report: dict, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"report written: {path}")
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         description="End-to-end benchmark of the design-evaluation engine")
+    parser.add_argument("--mode", choices=["engine", "multi-seed"],
+                        default="engine",
+                        help="engine: seed implementation vs optimized engine "
+                             "(default); multi-seed: per-seed optimized "
+                             "training vs the lockstep multi-seed trainer")
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="write the report as JSON (e.g. benchmarks/BENCH_baseline.json)")
     parser.add_argument("--workers", type=int, default=1,
@@ -316,7 +385,31 @@ def main(argv: Optional[List[str]] = None) -> int:
                         default="float32", help="optimized-mode tensor dtype")
     parser.add_argument("--designs", type=int, default=DEFAULT_BENCH_DESIGNS,
                         help="generated designs scored on top of the original")
+    parser.add_argument("--num-seeds", type=int, default=5,
+                        help="training seeds per design in --mode multi-seed "
+                             "(the paper's protocol uses 5)")
     args = parser.parse_args(argv)
+
+    if args.mode == "multi-seed":
+        report = run_multi_seed_benchmark(dtype=args.dtype,
+                                          num_seeds=args.num_seeds,
+                                          num_designs=args.designs)
+        per_seed = report["per_seed_mode"]
+        lockstep = report["lockstep_mode"]
+        print(f"workload      : original + {args.designs} designs, "
+              f"{report['workload']['num_seeds']} seeds x "
+              f"{report['workload']['train_epochs']} epochs (fcc, "
+              f"{report['workload']['dtype']})")
+        print(f"per-seed mode : {per_seed['seconds']:8.3f} s  "
+              "(optimized engine, one training session per seed)")
+        print(f"lockstep mode : {lockstep['seconds']:8.3f} s  "
+              "(stacked per-seed weights, batched fused updates)")
+        print(f"speedup       : {report['speedup']:8.2f} x")
+        print(f"score delta   : {report['max_score_delta']:8.2e} "
+              "(max |per-seed - lockstep|)")
+        if args.json:
+            _write_json(report, args.json)
+        return 0
 
     report = run_benchmark(workers=args.workers, dtype=args.dtype,
                            num_designs=args.designs)
@@ -332,10 +425,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     print(f"speedup       : {report['speedup']:8.2f} x")
     print(f"score delta   : {report['max_score_delta']:8.2e} (max |seed - optimized|)")
     if args.json:
-        with open(args.json, "w", encoding="utf-8") as handle:
-            json.dump(report, handle, indent=2, sort_keys=True)
-            handle.write("\n")
-        print(f"report written: {args.json}")
+        _write_json(report, args.json)
     return 0
 
 

@@ -455,6 +455,19 @@ class StreamingSession:
     def done(self) -> bool:
         return self.simulator.finished
 
+    @property
+    def history_arrays(self):
+        """Read-only views of the four observation histories (oldest first).
+
+        Returns ``(bitrate_kbps, throughput_mbps, download_time_s,
+        buffer_s)`` — the live arrays backing :meth:`observe`'s defensive
+        copies.  The multi-seed lockstep engine stacks these directly when
+        batching state computation across sessions; callers must not mutate
+        them.
+        """
+        return (self._bitrate_history, self._throughput_history,
+                self._download_time_history, self._buffer_history)
+
     def observe(self) -> Observation:
         """Build the observation for the next bitrate decision."""
         if self.done:

@@ -28,6 +28,7 @@ __all__ = [
     "ORIGINAL_NETWORK_SOURCE",
     "ActorCriticNetwork",
     "PensieveNetwork",
+    "PensieveSeedStack",
     "GenericActorCritic",
     "original_network_builder",
     "NetworkBuilder",
@@ -167,6 +168,16 @@ class ActorCriticNetwork(nn.Module):
     def supports_fused_update(self) -> bool:
         """Whether the trainer may use an analytic fused forward/backward."""
         return False
+
+    def critic_head_parameters(self) -> list:
+        """Parameters reachable only through the value (critic) head.
+
+        The A2C trainer steps these at ``A2CConfig.critic_lr`` and everything
+        else at ``actor_lr``.  The base implementation returns an empty list
+        (one learning rate for the whole network), which is the safe fallback
+        for architectures whose actor/critic split is unknown.
+        """
+        return []
 
 
 class PensieveNetwork(ActorCriticNetwork):
@@ -369,6 +380,15 @@ class PensieveNetwork(ActorCriticNetwork):
         logits = _dense_np(self.actor_out, _dense_np(self.actor_hidden, merged))
         return _softmax_np(logits)
 
+    def critic_head_parameters(self) -> list:
+        """The critic tower: ``critic_hidden`` and ``critic_out``.
+
+        The per-row branch bank feeds both towers and therefore stays in the
+        actor group, matching how the shared layers of a two-head network are
+        conventionally stepped at the policy learning rate.
+        """
+        return self.critic_hidden.parameters() + self.critic_out.parameters()
+
     # Fused analytic update (used by the A2C trainer) --------------------------
     def supports_fused_update(self) -> bool:
         """Whether the hand-derived forward/backward below applies.
@@ -485,6 +505,400 @@ class PensieveNetwork(ActorCriticNetwork):
                 branch.bias._accumulate(d_biases[index])
 
 
+class _SeedActorForward:
+    """Preallocated single-seed actor-tower forward (rollout hot path).
+
+    Performs the same operation sequence as the folded
+    ``PensieveNetwork.policy_probs`` path — float cast, flatten, GEMM
+    through the folded bank, two dense layers, softmax — writing every
+    intermediate into reusable buffers.  Buffer reuse and in-place
+    elementwise ops change no values; the returned probabilities view is
+    only valid until the next call.
+    """
+
+    __slots__ = ("folded", "fold_bias", "w_hidden", "b_hidden", "w_out",
+                 "b_out", "flat", "merged", "hidden", "logits")
+
+    def __init__(self, folded, fold_bias, w_hidden, b_hidden, w_out, b_out,
+                 batch, dtype) -> None:
+        self.folded = folded
+        self.fold_bias = fold_bias
+        self.w_hidden = w_hidden
+        self.b_hidden = b_hidden
+        self.w_out = w_out
+        self.b_out = b_out
+        self.flat = np.empty((batch, folded.shape[0]), dtype=dtype)
+        self.merged = np.empty((batch, folded.shape[1]), dtype=dtype)
+        self.hidden = np.empty((batch, w_hidden.shape[1]), dtype=dtype)
+        self.logits = np.empty((batch, w_out.shape[1]), dtype=dtype)
+
+    def probs(self, states: np.ndarray) -> np.ndarray:
+        """Action probabilities for ``(batch, *state_shape)`` float64 states."""
+        np.copyto(self.flat, states.reshape(self.flat.shape))
+        np.matmul(self.flat, self.folded, out=self.merged)
+        self.merged += self.fold_bias
+        np.maximum(self.merged, 0.0, out=self.merged)
+        np.matmul(self.merged, self.w_hidden, out=self.hidden)
+        self.hidden += self.b_hidden
+        np.maximum(self.hidden, 0.0, out=self.hidden)
+        np.matmul(self.hidden, self.w_out, out=self.logits)
+        self.logits += self.b_out
+        # In-place softmax, same arithmetic as _softmax_np.
+        self.logits -= self.logits.max(axis=-1, keepdims=True)
+        np.exp(self.logits, out=self.logits)
+        self.logits /= self.logits.sum(axis=-1, keepdims=True)
+        return self.logits
+
+
+class PensieveSeedStack:
+    """Stacked-weight view of several identically-shaped Pensieve networks.
+
+    The multi-seed lockstep trainer trains all ``num_seeds`` sessions of one
+    design simultaneously; this class provides the batched kernels it needs by
+    stacking each parameter of the per-seed networks into one
+    ``(seeds, *shape)`` array.  Three invariants make the stack transparent:
+
+    * **The per-seed networks stay live.**  Each network's ``Parameter.data``
+      is rebound to a view of its slice of the stacked array, so updating the
+      stack updates every seed network in place — checkpoint evaluation,
+      serialization and anything downstream see current weights with no
+      unpack step.
+    * **Bit-identical arithmetic.**  Every stacked kernel mirrors the serial
+      fused kernels of :class:`PensieveNetwork` operation for operation; the
+      batched GEMMs/einsums resolve each seed's slice with the same BLAS
+      calls the serial path makes, so a stacked forward/backward produces
+      exactly the arrays ``seeds`` serial ones would (asserted to <= 1e-9 in
+      float32 and float64 by the equivalence suite).
+    * **Same fold, same cache discipline.**  The folded branch-bank matrices
+      are built by each seed network's own ``_folded_tower`` (version-cached)
+      and stacked; :meth:`mark_updated` bumps the underlying parameter
+      versions after an optimizer step so both cache layers invalidate.
+    """
+
+    def __init__(self, networks: Sequence[PensieveNetwork]) -> None:
+        if len(networks) < 1:
+            raise ValueError("PensieveSeedStack needs at least one network")
+        if not all(isinstance(net, PensieveNetwork) for net in networks):
+            raise TypeError("PensieveSeedStack requires PensieveNetwork instances")
+        if not all(net.supports_fused_update() for net in networks):
+            raise ValueError("every stacked network must support fused updates")
+        self.networks = list(networks)
+        self.num_seeds = len(self.networks)
+        net0 = self.networks[0]
+        self.state_shape = net0.state_shape
+        self.num_actions = net0.num_actions
+
+        per_net = [net.parameters() for net in self.networks]
+        if any(len(params) != len(per_net[0]) for params in per_net):
+            raise ValueError("stacked networks have mismatched parameter lists")
+        self._per_net_params = per_net
+        self._params: list = []
+        by_id = {}
+        for position, reference in enumerate(per_net[0]):
+            shapes = {params[position].data.shape for params in per_net}
+            dtypes = {params[position].data.dtype for params in per_net}
+            if len(shapes) != 1 or len(dtypes) != 1:
+                raise ValueError(
+                    f"parameter {position} differs across seeds: "
+                    f"shapes {shapes}, dtypes {dtypes}")
+            stacked = nn.Parameter(np.empty(0), name=f"stack.{reference.name}")
+            # Assign directly: Parameter's constructor coerces to the current
+            # default dtype, but the stack must keep the dtype the networks
+            # were built with.
+            stacked.data = np.stack([params[position].data
+                                     for params in per_net])
+            for seed, params in enumerate(per_net):
+                params[position].data = stacked.data[seed]
+            self._params.append(stacked)
+            by_id[id(reference)] = stacked
+        self._stacked_of = by_id
+
+        self._w_actor_hidden = by_id[id(net0.actor_hidden.weight)]
+        self._b_actor_hidden = by_id[id(net0.actor_hidden.bias)]
+        self._w_actor_out = by_id[id(net0.actor_out.weight)]
+        self._b_actor_out = by_id[id(net0.actor_out.bias)]
+        self._w_critic_hidden = by_id[id(net0.critic_hidden.weight)]
+        self._b_critic_hidden = by_id[id(net0.critic_hidden.bias)]
+        self._w_critic_out = by_id[id(net0.critic_out.weight)]
+        self._b_critic_out = by_id[id(net0.critic_out.bias)]
+
+        self._version = 0
+        self._fold_cache = None
+        #: Persistent per-parameter gradient buffers (allocated on the first
+        #: backward when the gradient dtype matches the weight dtype): the
+        #: stacked backward writes GEMM/einsum outputs straight into them
+        #: with ``out=``, avoiding a fresh multi-megabyte allocation pass per
+        #: update.  Values are identical to freshly allocated gradients.
+        self._grad_buffers = None
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def compatible(networks: Sequence["ActorCriticNetwork"]) -> bool:
+        """Whether these networks can train through one stacked engine."""
+        if not networks or not all(isinstance(net, PensieveNetwork)
+                                   for net in networks):
+            return False
+        if not all(net.supports_fused_update() for net in networks):
+            return False
+        net0 = networks[0]
+        if any(net.state_shape != net0.state_shape
+               or net.num_actions != net0.num_actions for net in networks):
+            return False
+        shapes0 = [p.data.shape for p in net0.parameters()]
+        dtypes0 = [p.data.dtype for p in net0.parameters()]
+        for net in networks[1:]:
+            params = net.parameters()
+            if ([p.data.shape for p in params] != shapes0
+                    or [p.data.dtype for p in params] != dtypes0):
+                return False
+        return True
+
+    def parameters(self) -> list:
+        """Stacked parameters, ordered like ``networks[0].parameters()``.
+
+        The order matters: per-seed gradient-norm clipping accumulates
+        squared norms across parameters in this exact order, mirroring the
+        serial ``clip_grad_norm`` call on ``network.parameters()``.
+        """
+        return list(self._params)
+
+    def stacked_of(self, parameter) -> nn.Parameter:
+        """The stacked parameter holding all seeds of ``parameter``."""
+        return self._stacked_of[id(parameter)]
+
+    def mark_updated(self) -> None:
+        """Invalidate fold caches after the stacked optimizer stepped.
+
+        The optimizer bumps the *stacked* parameters' versions; the per-seed
+        networks' parameters are views whose version counters the optimizer
+        never sees, so the seed-level fold caches are bumped here.
+        """
+        self._version += 1
+        for params in self._per_net_params:
+            for p in params:
+                p.version = getattr(p, "version", 0) + 1
+
+    # ------------------------------------------------------------------ #
+    def _stacked_fold(self):
+        """``(folded (S, D, M), bias (S, M))`` of the per-seed branch banks."""
+        cached = self._fold_cache
+        if cached is not None and cached[0] == self._version:
+            return cached[1], cached[2]
+        towers = [net._folded_tower() for net in self.networks]
+        folded = np.stack([tower[0] for tower in towers])
+        bias = np.stack([tower[1] for tower in towers])
+        self._fold_cache = (self._version, folded, bias)
+        return folded, bias
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self._w_actor_out.data.dtype
+
+    def policy_probs(self, states: np.ndarray) -> np.ndarray:
+        """Per-seed action probabilities for ``(seeds, batch, *state_shape)``.
+
+        Seed ``s``'s slice equals ``networks[s].policy_probs(states[s])`` on
+        the folded fast path: flatten, one batched GEMM through the folded
+        bank, the two actor dense layers, softmax.
+        """
+        states = np.asarray(states, dtype=self.dtype)
+        seeds, batch = states.shape[0], states.shape[1]
+        flat = states.reshape(seeds, batch, -1)
+        folded, bias = self._stacked_fold()
+        merged = np.maximum(nn.batched_matmul(flat, folded) + bias[:, None, :],
+                            0.0)
+        hidden = np.maximum(
+            nn.batched_matmul(merged, self._w_actor_hidden.data)
+            + self._b_actor_hidden.data[:, None, :], 0.0)
+        logits = (nn.batched_matmul(hidden, self._w_actor_out.data)
+                  + self._b_actor_out.data[:, None, :])
+        return _softmax_np(logits)
+
+    def seed_policy_forward(self, seed: int, batch: int) -> "_SeedActorForward":
+        """A lean, buffer-reusing actor forward for one seed.
+
+        Computes exactly the arithmetic of
+        :meth:`PensieveNetwork.policy_probs`'s folded path — cast, flatten,
+        three GEMMs against this seed's weight slices, softmax — without the
+        per-call capability re-validation the general entry point performs
+        and without per-call allocations.  Seed-major callers (the lockstep
+        rollout and checkpoint evaluation) create one per episode so a
+        seed's ~1.6 MB actor tower stays hot in L2 across consecutive
+        decisions; the context captures the current folded tower, so it must
+        be recreated after a weight update.
+        """
+        folded, bias = self._stacked_fold()
+        return _SeedActorForward(
+            folded[seed], bias[seed],
+            self._w_actor_hidden.data[seed], self._b_actor_hidden.data[seed],
+            self._w_actor_out.data[seed], self._b_actor_out.data[seed],
+            batch, self.dtype)
+
+    # ------------------------------------------------------------------ #
+    def fused_forward(self, states: np.ndarray):
+        """Stacked twin of :meth:`PensieveNetwork.fused_forward`.
+
+        ``states`` is ``(seeds, batch, *state_shape)``; returns
+        ``(cache, logits (S, B, A), values (S, B))``.
+        """
+        states = np.asarray(states, dtype=self.dtype)
+        seeds, batch = states.shape[0], states.shape[1]
+        flat = states.reshape(seeds, batch, -1)
+        folded, fold_bias = self._stacked_fold()
+        pre_merged = nn.batched_matmul(flat, folded) + fold_bias[:, None, :]
+        merged = np.maximum(pre_merged, 0.0)
+        pre_actor = (nn.batched_matmul(merged, self._w_actor_hidden.data)
+                     + self._b_actor_hidden.data[:, None, :])
+        hidden_actor = np.maximum(pre_actor, 0.0)
+        logits = (nn.batched_matmul(hidden_actor, self._w_actor_out.data)
+                  + self._b_actor_out.data[:, None, :])
+        pre_critic = (nn.batched_matmul(merged, self._w_critic_hidden.data)
+                      + self._b_critic_hidden.data[:, None, :])
+        hidden_critic = np.maximum(pre_critic, 0.0)
+        values = (nn.batched_matmul(hidden_critic, self._w_critic_out.data)
+                  + self._b_critic_out.data[:, None, :]).reshape(seeds, batch)
+        cache = (states, flat, pre_merged, merged, pre_actor, hidden_actor,
+                 pre_critic, hidden_critic)
+        return cache, logits, values
+
+    def _grad_into(self, stacked: nn.Parameter) -> Optional[np.ndarray]:
+        """Bind and return the persistent gradient buffer for ``stacked``.
+
+        Returns None when gradients must live in a different dtype than the
+        weights (mirroring ``Parameter._accumulate``'s cast to the global
+        default dtype) — the backward then falls back to allocating casts.
+        """
+        if np.dtype(nn.get_default_dtype()) != self.dtype:
+            return None
+        if self._grad_buffers is None:
+            self._grad_buffers = {id(p): np.empty_like(p.data)
+                                  for p in self._params}
+        buffer = self._grad_buffers[id(stacked)]
+        stacked.grad = buffer
+        return buffer
+
+    def _set_grad(self, stacked: nn.Parameter, grad: np.ndarray) -> None:
+        """Assign a computed gradient, casting like ``Parameter._accumulate``."""
+        grad = np.asarray(grad, dtype=nn.get_default_dtype())
+        stacked.grad = grad.copy() if grad.base is not None else grad
+
+    def fused_backward(self, cache, dlogits: np.ndarray,
+                       dvalues: np.ndarray) -> None:
+        """Stacked twin of :meth:`PensieveNetwork.fused_backward`.
+
+        Gradients land on the *stacked* parameters (shape ``(S, *shape)``);
+        seed ``s``'s slice is exactly the gradient the serial backward puts
+        on ``networks[s]``'s parameters.  In the common case (gradient dtype
+        == weight dtype) outputs are written straight into persistent
+        buffers with ``out=``; the values are identical either way.
+        """
+        (states, flat, pre_merged, merged, pre_actor, hidden_actor,
+         pre_critic, hidden_critic) = cache
+        net0 = self.networks[0]
+        seeds = states.shape[0]
+        dvalues = np.asarray(dvalues).reshape(seeds, -1, 1)
+
+        def put(stacked: nn.Parameter, compute, out_shape=None):
+            """Compute a gradient into the persistent buffer when possible.
+
+            ``compute(out)`` must write into ``out`` when given one and
+            return the result otherwise; ``out_shape`` reshapes the buffer
+            view the computation writes through (buffers are contiguous, so
+            the reshape is free).
+            """
+            buffer = self._grad_into(stacked)
+            if buffer is None:
+                self._set_grad(stacked, compute(None))
+                return
+            view = buffer if out_shape is None else buffer.reshape(out_shape)
+            compute(view)
+
+        merged_t = merged.transpose(0, 2, 1)
+
+        # Actor tower.
+        hidden_actor_t = hidden_actor.transpose(0, 2, 1)
+        put(self._w_actor_out,
+            lambda out: np.matmul(hidden_actor_t, dlogits, out=out)
+            if out is not None else np.matmul(hidden_actor_t, dlogits))
+        put(self._b_actor_out,
+            lambda out: dlogits.sum(axis=1, out=out))
+        d_hidden_actor = nn.batched_matmul(
+            dlogits, self._w_actor_out.data.transpose(0, 2, 1))
+        d_pre_actor = d_hidden_actor * (pre_actor > 0)
+        put(self._w_actor_hidden,
+            lambda out: np.matmul(merged_t, d_pre_actor, out=out)
+            if out is not None else np.matmul(merged_t, d_pre_actor))
+        put(self._b_actor_hidden,
+            lambda out: d_pre_actor.sum(axis=1, out=out))
+        d_merged = nn.batched_matmul(
+            d_pre_actor, self._w_actor_hidden.data.transpose(0, 2, 1))
+
+        # Critic tower.
+        hidden_critic_t = hidden_critic.transpose(0, 2, 1)
+        put(self._w_critic_out,
+            lambda out: np.matmul(hidden_critic_t, dvalues, out=out)
+            if out is not None else np.matmul(hidden_critic_t, dvalues))
+        put(self._b_critic_out,
+            lambda out: dvalues.sum(axis=1, out=out))
+        d_hidden_critic = nn.batched_matmul(
+            dvalues, self._w_critic_out.data.transpose(0, 2, 1))
+        d_pre_critic = d_hidden_critic * (pre_critic > 0)
+        put(self._w_critic_hidden,
+            lambda out: np.matmul(merged_t, d_pre_critic, out=out)
+            if out is not None else np.matmul(merged_t, d_pre_critic))
+        put(self._b_critic_hidden,
+            lambda out: d_pre_critic.sum(axis=1, out=out))
+        d_merged = d_merged + nn.batched_matmul(
+            d_pre_critic, self._w_critic_hidden.data.transpose(0, 2, 1))
+
+        # Shared branch bank (through the ReLU on the folded pre-activation).
+        d_pre_merged = d_merged * (pre_merged > 0)
+        offset = 0
+        if net0.conv_branches:
+            kernel = net0.conv_branches[0].kernel_size
+            stride = net0.conv_branches[0].stride
+            filters = net0.conv_branches[0].out_channels
+            rows = states[:, :, list(net0.temporal_rows), :]
+            windows = np.lib.stride_tricks.sliding_window_view(
+                rows, kernel, axis=3)[:, :, :, ::stride]    # (S, B, R, P, K)
+            positions = windows.shape[3]
+            span = len(net0.conv_branches) * filters * positions
+            d_conv = d_pre_merged[:, :, :span].reshape(
+                seeds, -1, len(net0.conv_branches), filters, positions)
+            d_weights = np.einsum("sbrfp,sbrpk->srfk", d_conv, windows)
+            d_biases = d_conv.sum(axis=(1, 4))
+            for index, branch in enumerate(net0.conv_branches):
+                put(self.stacked_of(branch.weight),
+                    lambda out, i=index: np.copyto(out, d_weights[:, i])
+                    if out is not None
+                    else d_weights[:, i].reshape(
+                        (seeds,) + branch.weight.data.shape),
+                    out_shape=(seeds, filters, kernel))
+                put(self.stacked_of(branch.bias),
+                    lambda out, i=index: np.copyto(out, d_biases[:, i])
+                    if out is not None else d_biases[:, i])
+            offset = span
+        if net0.scalar_branches:
+            width = net0.scalar_branches[0].out_features
+            if len(self.state_shape) == 1:
+                scalars = states[:, :, list(net0.scalar_rows)]
+            else:
+                scalars = states[:, :, list(net0.scalar_rows), -1]  # (S, B, N)
+            d_scalar = d_pre_merged[:, :, offset:].reshape(
+                seeds, -1, len(net0.scalar_branches), width)
+            d_weights = np.einsum("sbnh,sbn->snh", d_scalar, scalars)
+            d_biases = d_scalar.sum(axis=1)
+            for index in range(len(net0.scalar_branches)):
+                branch = net0.scalar_branches[index]
+                put(self.stacked_of(branch.weight),
+                    lambda out, i=index: np.copyto(out, d_weights[:, i])
+                    if out is not None else d_weights[:, i][:, None, :],
+                    out_shape=(seeds, width))
+                put(self.stacked_of(branch.bias),
+                    lambda out, i=index: np.copyto(out, d_biases[:, i])
+                    if out is not None else d_biases[:, i])
+
+
 class GenericActorCritic(ActorCriticNetwork):
     """A generic architecture handling arbitrary state shapes.
 
@@ -573,6 +987,11 @@ class GenericActorCritic(ActorCriticNetwork):
             if not isinstance(layer, nn.Dense) or _layer_kernel(layer) is None:
                 return False
         return True
+
+    def critic_head_parameters(self) -> list:
+        """Critic-only parameters: the critic trunk (unless shared) and head."""
+        params = [] if self.share_trunk else self.critic_trunk.parameters()
+        return params + self.critic_out.parameters()
 
     def policy_probs(self, states: np.ndarray) -> np.ndarray:
         if not (_FAST_INFERENCE and self._fast_path_supported()):

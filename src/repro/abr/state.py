@@ -27,6 +27,7 @@ __all__ = [
     "STATE_FUNCTION_PARAMETERS",
     "ORIGINAL_STATE_SOURCE",
     "original_state_function",
+    "original_states_batched",
     "StateFunction",
     "BUFFER_NORM_FACTOR_S",
     "THROUGHPUT_NORM_FACTOR_MBPS",
@@ -91,6 +92,50 @@ def original_state_function(
     state[4, :count] = sizes[:count]
     state[5, :] = float(remaining_chunk_count) / max(float(total_chunk_count), 1.0)
     return state
+
+
+def original_states_batched(
+    bitrate_kbps_histories: np.ndarray,
+    throughput_mbps_histories: np.ndarray,
+    download_time_s_histories: np.ndarray,
+    buffer_size_s_histories: np.ndarray,
+    next_chunk_sizes_bytes: np.ndarray,
+    remaining_chunk_count: int,
+    total_chunk_count: int,
+    bitrate_ladder_kbps: np.ndarray,
+    out: np.ndarray,
+) -> np.ndarray:
+    """Vectorized :func:`original_state_function` over lockstep sessions.
+
+    The history arguments carry arbitrary leading (session) axes with the
+    history window last, e.g. ``(seeds, H)`` or ``(seeds, traces, H)``;
+    ``out`` receives the states as ``(*leading, 6, H)``.  The next-chunk
+    sizes and chunk counters are shared: lockstep sessions stream the same
+    video at the same chunk index, so those rows are identical per session.
+
+    Row for row this performs the exact arithmetic of the serial function
+    (elementwise divides by the same scalars on the same values), so every
+    ``out[...]`` slice is bit-identical to calling the serial function on
+    that session's observation — the multi-seed trainer relies on this to
+    stay seed-for-seed equivalent while building all states in a handful of
+    NumPy calls instead of hundreds.
+    """
+    history_len = bitrate_kbps_histories.shape[-1]
+    ladder = np.asarray(bitrate_ladder_kbps, dtype=np.float64)
+    np.divide(bitrate_kbps_histories, ladder[-1], out=out[..., 0, :])
+    np.divide(buffer_size_s_histories, BUFFER_NORM_FACTOR_S, out=out[..., 1, :])
+    np.divide(throughput_mbps_histories, THROUGHPUT_NORM_FACTOR_MBPS,
+              out=out[..., 2, :])
+    np.divide(download_time_s_histories, BUFFER_NORM_FACTOR_S,
+              out=out[..., 3, :])
+    sizes = np.asarray(next_chunk_sizes_bytes,
+                       dtype=np.float64) / CHUNK_SIZE_NORM_FACTOR_BYTES
+    count = min(len(sizes), history_len)
+    out[..., 4, :] = 0.0
+    out[..., 4, :count] = sizes[:count]
+    out[..., 5, :] = float(remaining_chunk_count) / max(float(total_chunk_count),
+                                                        1.0)
+    return out
 
 
 #: Source code of the original state function, used as the seed code block in

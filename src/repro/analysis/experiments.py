@@ -80,6 +80,10 @@ class ExperimentScale:
     #: Tensor dtype for the nn substrate: "float64" (accuracy-first default)
     #: or "float32" (fast path).  Applied by the experiment drivers.
     dtype: str = "float64"
+    #: Train all seeds of a design in lockstep with stacked per-seed weights
+    #: when the architecture supports it (serial executions only; results are
+    #: identical to per-seed training, just faster on one core).
+    lockstep: bool = True
 
     def evaluation_config(self) -> EvaluationConfig:
         return EvaluationConfig(
@@ -90,6 +94,7 @@ class ExperimentScale:
             a2c=A2CConfig(entropy_weight_start=self.entropy_weight_start,
                           entropy_weight_end=self.entropy_weight_end,
                           entropy_anneal_epochs=max(self.train_epochs // 2, 1)),
+            lockstep_training=self.lockstep,
         )
 
     def parallel_config(self) -> ParallelConfig:

@@ -65,6 +65,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--dtype", choices=["float32", "float64"], default="float64",
                      help="tensor dtype: float64 (accuracy-first default) or "
                           "float32 (fast path)")
+    run.add_argument("--no-lockstep", action="store_true",
+                     help="disable the multi-seed lockstep trainer (stacked "
+                          "per-seed weights, batched fused updates) and train "
+                          "every seed separately; results are identical, "
+                          "lockstep is just faster on one core")
     run.add_argument("--show-code", action="store_true",
                      help="print the best design's source code")
 
@@ -101,6 +106,7 @@ def _command_run(args: argparse.Namespace) -> int:
                                           // max(args.checkpoint_interval, 1))),
             num_seeds=args.num_seeds,
             a2c=A2CConfig(entropy_anneal_epochs=max(args.train_epochs // 2, 1)),
+            lockstep_training=not args.no_lockstep,
         ),
         use_early_stopping=not args.no_early_stopping,
         seed=args.seed,

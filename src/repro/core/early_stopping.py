@@ -228,6 +228,11 @@ class RewardTrajectoryClassifier:
     def evaluate(self, reward_prefixes: Sequence[Sequence[float]],
                  final_scores: Sequence[float]) -> dict:
         """False/true negative rates against the strict top-1% labels."""
+        if self.threshold is None:
+            # Guard explicitly: an unfitted threshold would otherwise reach
+            # classification_rates and fail with a confusing TypeError on
+            # ``scores >= None``.
+            raise RuntimeError("classifier has not been fitted")
         labels = top_fraction_labels(final_scores, self.config.top_fraction)
         scores = self.predict_scores(reward_prefixes)
         return classification_rates(scores, labels, self.threshold)

@@ -27,7 +27,8 @@ from ..abr.networks import (fast_inference_enabled, original_network_builder,
 from ..abr.qoe import LinearQoE, QoEMetric
 from ..abr.state import StateFunction
 from ..abr.video import Video
-from ..rl.a2c import A2CConfig, A2CTrainer, evaluate_agent
+from ..rl.a2c import (A2CConfig, A2CTrainer, MultiSeedA2CTrainer,
+                      evaluate_agent)
 from ..rl.agent import ABRAgent
 from ..traces.base import TraceSet
 from .codegen import load_network_builder, load_state_function
@@ -65,6 +66,13 @@ class EvaluationConfig:
     #: Step all test traces in lockstep with one batched policy forward per
     #: chunk during checkpoint evaluation (greedy, noise-free only).
     batched_evaluation: bool = True
+    #: Train all seeds of a design simultaneously with stacked per-seed
+    #: weights and batched fused updates (the multi-seed lockstep engine).
+    #: Applies only when the design's network supports fused updates, the
+    #: evaluation runs serially (no process fan-out) and no early-stopping
+    #: classifier is attached; anything else falls back to the per-seed
+    #: path.  Seed-for-seed results are identical either way (tested).
+    lockstep_training: bool = True
 
     def scaled(self, factor: float) -> "EvaluationConfig":
         """Return a copy with the training schedule scaled by ``factor``."""
@@ -198,6 +206,65 @@ class DesignTrainer:
             last_k_checkpoints=cfg.last_k_checkpoints,
         )
 
+    # ------------------------------------------------------------------ #
+    def run_seeds(self, state_design: Optional[Design],
+                  network_design: Optional[Design],
+                  seeds: Sequence[int],
+                  early_stopping: Optional[RewardTrajectoryClassifier] = None,
+                  ) -> List[TrainingRun]:
+        """Train the design for every seed, in lockstep when possible.
+
+        Dispatches to the multi-seed lockstep engine when
+        ``config.lockstep_training`` is on, more than one seed is requested,
+        no early-stopping classifier is attached (per-seed early stops would
+        desynchronize the lockstep), and the instantiated networks support
+        stacked fused updates.  Otherwise every seed runs through
+        :meth:`run`.  Both paths produce identical records seed for seed.
+        """
+        cfg = self.config
+        if (cfg.lockstep_training and early_stopping is None
+                and len(seeds) > 1):
+            agents = [instantiate_agent(state_design, network_design,
+                                        self.video, self.train_traces,
+                                        seed=seed) for seed in seeds]
+            if MultiSeedA2CTrainer.supports([a.network for a in agents]):
+                return self._run_lockstep(agents, list(seeds))
+        return [self.run(state_design, network_design, seed=seed,
+                         early_stopping=early_stopping) for seed in seeds]
+
+    def _run_lockstep(self, agents: Sequence[ABRAgent],
+                      seeds: List[int]) -> List[TrainingRun]:
+        """Train all seeds through :class:`MultiSeedA2CTrainer`.
+
+        Mirrors the :meth:`run` schedule — same epochs, same checkpoint
+        cadence, same evaluation calls — with every seed advanced together.
+        """
+        cfg = self.config
+        trainer = MultiSeedA2CTrainer(agents, self.video, self.train_traces,
+                                      qoe=self.qoe, config=cfg.a2c,
+                                      simulator_config=cfg.simulator,
+                                      seeds=seeds)
+        checkpoint_epochs: List[int] = []
+        checkpoint_scores: List[List[float]] = [[] for _ in seeds]
+        for epoch in range(1, cfg.train_epochs + 1):
+            trainer.train_epoch()
+            if epoch % cfg.checkpoint_interval == 0:
+                scores = trainer.evaluate_checkpoint(
+                    self.test_traces, greedy=cfg.greedy_evaluation,
+                    batched=cfg.batched_evaluation)
+                checkpoint_epochs.append(epoch)
+                for per_seed, score in zip(checkpoint_scores, scores):
+                    per_seed.append(score)
+        return [TrainingRun(
+                    seed=seed,
+                    reward_history=list(rewards),
+                    checkpoint_epochs=list(checkpoint_epochs),
+                    checkpoint_scores=scores,
+                    early_stopped=False,
+                    last_k_checkpoints=cfg.last_k_checkpoints,
+                ) for seed, rewards, scores in zip(
+                    seeds, trainer.reward_histories, checkpoint_scores)]
+
 
 @dataclass(frozen=True)
 class _SeedTask:
@@ -268,10 +335,25 @@ class TestScoreProtocol:
         finite = [s for s in per_seed if np.isfinite(s)]
         return float(np.median(finite)) if finite else float("-inf")
 
+    def _serial_execution(self) -> bool:
+        """True when no process fan-out is configured (lockstep territory)."""
+        return self.parallel.resolved_workers() <= 1
+
     def run(self, state_design: Optional[Design], network_design: Optional[Design],
             early_stopping: Optional[RewardTrajectoryClassifier] = None,
             ) -> Tuple[float, List[TrainingRun]]:
-        """Train across all seeds; returns (test score, per-seed runs)."""
+        """Train across all seeds; returns (test score, per-seed runs).
+
+        Serial executions route through :meth:`DesignTrainer.run_seeds`,
+        which trains all seeds in lockstep when the design supports stacked
+        fused updates; parallel executions keep the per-seed process
+        fan-out.  Scores are identical either way.
+        """
+        if self._serial_execution():
+            runs = self.trainer.run_seeds(state_design, network_design,
+                                          self.seeds,
+                                          early_stopping=early_stopping)
+            return self._aggregate(runs), runs
         tasks = self._seed_tasks(state_design, network_design, early_stopping)
         runs = parallel_map(_run_seed_task, tasks, self.parallel)
         return self._aggregate(runs), runs
@@ -285,8 +367,13 @@ class TestScoreProtocol:
         executor pass, which keeps every worker busy even when individual jobs
         have fewer seeds than there are workers.  Per-job results come back in
         job order with seeds in protocol order, exactly as if each job had
-        been run serially.
+        been run serially.  Serial executions instead train each job's seeds
+        in lockstep (when supported), which is the faster engine on one core.
         """
+        if self._serial_execution():
+            return [self.run(state_design, network_design,
+                             early_stopping=early_stopping)
+                    for state_design, network_design in jobs]
         tasks: List[_SeedTask] = []
         for state_design, network_design in jobs:
             tasks.extend(self._seed_tasks(state_design, network_design,

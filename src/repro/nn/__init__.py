@@ -41,10 +41,13 @@ from .losses import (
     mse_loss,
     policy_gradient_loss,
 )
-from .optim import Adam, Optimizer, RMSProp, SGD, clip_grad_norm
+from .optim import (Adam, Optimizer, RMSProp, SGD, StackedAdam,
+                    StackedRMSProp, StackedSGD, clip_grad_norm,
+                    clip_grad_norm_stacked)
 from .serialization import load_module, load_state, save_module, save_state
 from .tensor import (
     Tensor,
+    batched_matmul,
     concatenate,
     default_dtype,
     get_default_dtype,
@@ -61,7 +64,8 @@ from .tensor import (
 
 __all__ = [
     # tensor
-    "Tensor", "tensor", "zeros", "ones", "randn", "concatenate", "stack",
+    "Tensor", "tensor", "zeros", "ones", "randn", "batched_matmul",
+    "concatenate", "stack",
     "unfold1d", "no_grad", "is_grad_enabled",
     "set_default_dtype", "get_default_dtype", "default_dtype",
     # layers
@@ -74,7 +78,9 @@ __all__ = [
     "mse_loss", "huber_loss", "binary_cross_entropy", "cross_entropy",
     "policy_gradient_loss", "entropy",
     # optim
-    "Optimizer", "SGD", "RMSProp", "Adam", "clip_grad_norm",
+    "Optimizer", "SGD", "RMSProp", "Adam",
+    "StackedSGD", "StackedRMSProp", "StackedAdam",
+    "clip_grad_norm", "clip_grad_norm_stacked",
     # serialization
     "save_state", "load_state", "save_module", "load_module",
 ]

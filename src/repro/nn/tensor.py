@@ -27,6 +27,7 @@ __all__ = [
     "zeros",
     "ones",
     "randn",
+    "batched_matmul",
     "concatenate",
     "stack",
     "no_grad",
@@ -643,3 +644,26 @@ def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
                 t._accumulate(np.take(grad, index, axis=axis))
 
     return Tensor._make(out_data, tuple(tensors), backward)
+
+def batched_matmul(a: np.ndarray, b: np.ndarray,
+                   out: Optional[np.ndarray] = None) -> np.ndarray:
+    """Batched GEMM over raw NumPy arrays: ``(S, m, k) @ (S, k, n) -> (S, m, n)``.
+
+    This is the 3-D kernel behind the multi-seed lockstep trainer: the leading
+    axis indexes independent training sessions whose weight matrices are
+    stacked, and one call resolves every session's GEMM.  NumPy dispatches the
+    2-D core of ``matmul`` to BLAS per slice, so each slice of the result is
+    bit-identical to computing ``a[s] @ b[s]`` on its own (asserted by the
+    seed-for-seed equivalence suite) — stacking changes dispatch overhead, not
+    arithmetic.
+
+    Raw ndarrays in, raw ndarray out: this helper exists for the analytic
+    fused kernels, which deliberately bypass the autograd graph.
+    """
+    if a.ndim != 3 or b.ndim != 3:
+        raise ValueError(
+            f"batched_matmul expects 3-D stacks, got {a.ndim}-D @ {b.ndim}-D")
+    if a.shape[0] != b.shape[0] or a.shape[2] != b.shape[1]:
+        raise ValueError(
+            f"batched_matmul shape mismatch: {a.shape} @ {b.shape}")
+    return np.matmul(a, b, out=out)

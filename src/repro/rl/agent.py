@@ -88,6 +88,19 @@ class ABRAgent:
         action = greedy_action(probs) if greedy else sample_action(probs, self._rng)
         return action, state
 
+    def act_from_probs(self, probabilities: np.ndarray,
+                       greedy: bool = False) -> int:
+        """Choose an action from externally computed probabilities.
+
+        The multi-seed lockstep trainer computes every seed's probabilities in
+        one batched forward and then samples each seed through this method, so
+        the action draw consumes this agent's RNG exactly like
+        :meth:`act_with_state` does on the serial path.
+        """
+        if greedy:
+            return greedy_action(probabilities)
+        return sample_action(probabilities, self._rng)
+
     # ------------------------------------------------------------------ #
     def greedy_policy(self):
         """A plain ``observation -> action`` callable using greedy decisions."""

@@ -76,8 +76,20 @@ class Trace:
 
     @property
     def std_throughput_mbps(self) -> float:
-        """Standard deviation of throughput samples."""
-        return float(self.throughputs_mbps.std())
+        """Time-weighted standard deviation of throughput in Mbit/s.
+
+        Weighted by segment duration around the time-weighted mean, so that
+        irregularly-sampled traces report variability on the same basis as
+        :attr:`mean_throughput_mbps` (a sample-weighted std next to a
+        time-weighted mean misstates variability whenever sampling density
+        correlates with throughput).  As with the mean, the last sample only
+        marks the end of the final segment and carries no weight.
+        """
+        gaps = np.diff(self.timestamps_s)
+        values = self.throughputs_mbps[:-1]
+        mean = np.average(values, weights=gaps)
+        variance = np.average((values - mean) ** 2, weights=gaps)
+        return float(np.sqrt(variance))
 
     # ------------------------------------------------------------------ #
     def throughput_at(self, time_s: float) -> float:

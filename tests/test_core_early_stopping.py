@@ -123,6 +123,22 @@ class TestRewardTrajectoryClassifier:
         with pytest.raises(RuntimeError):
             classifier.should_stop([1.0])
 
+    def test_unfitted_evaluate_raises_runtime_error(self):
+        # evaluate() used to pass threshold=None into classification_rates,
+        # failing with a TypeError on ``scores >= None``; it must raise the
+        # same "not fitted" RuntimeError as the other entry points — even
+        # when a model is present but the threshold was never tuned.
+        classifier = RewardTrajectoryClassifier()
+        with pytest.raises(RuntimeError, match="has not been fitted"):
+            classifier.evaluate([[1.0, 2.0]], [0.5])
+        config = EarlyStoppingConfig(reward_prefix_length=2, training_epochs=2)
+        fitted = RewardTrajectoryClassifier(config)
+        fitted.fit([[0.0, 0.1], [0.2, 0.3], [0.1, 0.2], [0.4, 0.5]],
+                   [0.1, 0.9, 0.2, 0.8])
+        fitted.threshold = None
+        with pytest.raises(RuntimeError, match="has not been fitted"):
+            fitted.evaluate([[1.0, 2.0]], [0.5])
+
     def test_fit_validation(self):
         classifier = RewardTrajectoryClassifier()
         with pytest.raises(ValueError):

@@ -1,0 +1,396 @@
+"""Seed-for-seed equivalence suite for the multi-seed lockstep trainer.
+
+The lockstep engine's contract is that training all seeds of a design
+simultaneously (stacked weights, batched fused updates) is indistinguishable
+from the serial per-seed trainer: identical trace choices, identical action
+sequences, weights and :class:`TrainingRun` records matching to <= 1e-9 in
+both float32 and float64.  These tests pin that contract, plus the stacked
+kernels and optimizers it is built from.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.abr.env import StreamingSession
+from repro.abr.networks import GenericActorCritic, PensieveSeedStack
+from repro.abr.state import StateFunction, original_states_batched
+from repro.analysis.experiments import ExperimentScale, build_environment
+from repro.core.design import Design, DesignKind
+from repro.core.evaluation import (DesignTrainer, EvaluationConfig,
+                                   TestScoreProtocol, instantiate_agent)
+from repro.core.early_stopping import EarlyStoppingConfig, RewardTrajectoryClassifier
+from repro.rl.a2c import (A2CConfig, A2CTrainer, MultiSeedA2CTrainer,
+                          evaluate_agent)
+
+SEEDS = [0, 1, 2]
+
+
+@pytest.fixture(scope="module")
+def env_setup():
+    return build_environment("fcc", ExperimentScale(dataset_scale=0.03,
+                                                    num_chunks=10, seed=0))
+
+
+def _agents(setup, seeds):
+    return [instantiate_agent(None, None, setup.video, setup.train_traces,
+                              seed=seed) for seed in seeds]
+
+
+def _serial_trainers(setup, seeds, config):
+    return [A2CTrainer(agent, setup.video, setup.train_traces, qoe=setup.qoe,
+                       config=config, seed=seed)
+            for agent, seed in zip(_agents(setup, seeds), seeds)]
+
+
+@pytest.fixture
+def dtype_guard():
+    previous = nn.get_default_dtype()
+    yield
+    nn.set_default_dtype(previous)
+
+
+# --------------------------------------------------------------------------- #
+# Trainer equivalence
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("dtype", ["float64", "float32"])
+def test_lockstep_matches_serial_seed_for_seed(env_setup, dtype, dtype_guard,
+                                               monkeypatch):
+    nn.set_default_dtype(dtype)
+    setup = env_setup
+    # A non-default critic_lr so the per-group learning rates are exercised.
+    config = A2CConfig(critic_lr=3e-3, entropy_anneal_epochs=8)
+    epochs = 10
+
+    recorded = []
+    original_step = StreamingSession.step
+
+    def recording_step(self, bitrate_index):
+        recorded.append(bitrate_index)
+        return original_step(self, bitrate_index)
+
+    monkeypatch.setattr(StreamingSession, "step", recording_step)
+
+    serial = _serial_trainers(setup, SEEDS, config)
+    serial_actions = []
+    for trainer in serial:
+        recorded.clear()
+        trainer.train(epochs)
+        serial_actions.append(list(recorded))
+
+    recorded.clear()
+    agents = _agents(setup, SEEDS)
+    multi = MultiSeedA2CTrainer(agents, setup.video, setup.train_traces,
+                                qoe=setup.qoe, config=config, seeds=SEEDS)
+    multi.train(epochs)
+    lock_flat = list(recorded)
+
+    # Lockstep steps seed-major within each epoch: regroup per seed.
+    chunks = setup.video.num_chunks
+    lock_actions = [[] for _ in SEEDS]
+    position = 0
+    for _ in range(epochs):
+        for seed_index in range(len(SEEDS)):
+            lock_actions[seed_index].extend(
+                lock_flat[position:position + chunks])
+            position += chunks
+
+    for index, trainer in enumerate(serial):
+        # Identical trace choices and action sequences.
+        assert ([stats.trace_name for stats in trainer.history]
+                == [stats.trace_name for stats in multi.histories[index]])
+        assert serial_actions[index] == lock_actions[index]
+        # Identical per-epoch statistics.
+        for a, b in zip(trainer.history, multi.histories[index]):
+            assert a.episode_reward == b.episode_reward
+            assert abs(a.actor_loss - b.actor_loss) <= 1e-9
+            assert abs(a.critic_loss - b.critic_loss) <= 1e-9
+            assert abs(a.entropy - b.entropy) <= 1e-9
+            assert abs(a.grad_norm - b.grad_norm) <= 1e-9
+        # Weights match to <= 1e-9.
+        serial_state = trainer.agent.network.state_dict()
+        lock_state = agents[index].network.state_dict()
+        for key in serial_state:
+            delta = np.max(np.abs(serial_state[key] - lock_state[key]))
+            assert delta <= 1e-9, (key, delta)
+        # Checkpoint evaluation matches the serial evaluator.
+        serial_eval = evaluate_agent(trainer.agent, setup.video,
+                                     setup.test_traces, qoe=setup.qoe,
+                                     greedy=True, seed=SEEDS[index],
+                                     batched=True)
+        assert multi.evaluate_checkpoint(setup.test_traces)[index] == \
+            pytest.approx(serial_eval, abs=1e-12)
+
+
+@pytest.mark.parametrize("dtype", ["float64", "float32"])
+def test_design_trainer_run_seeds_matches_run(env_setup, dtype, dtype_guard):
+    nn.set_default_dtype(dtype)
+    setup = env_setup
+    config = EvaluationConfig(train_epochs=12, checkpoint_interval=4,
+                              last_k_checkpoints=2, num_seeds=len(SEEDS),
+                              a2c=A2CConfig(entropy_anneal_epochs=6))
+    trainer = DesignTrainer(setup.video, setup.train_traces,
+                            setup.test_traces, config=config, qoe=setup.qoe)
+    lock_runs = trainer.run_seeds(None, None, SEEDS)
+    serial_runs = [trainer.run(None, None, seed=seed) for seed in SEEDS]
+    for lock, serial in zip(lock_runs, serial_runs):
+        assert lock.seed == serial.seed
+        assert lock.checkpoint_epochs == serial.checkpoint_epochs
+        assert lock.early_stopped == serial.early_stopped
+        assert lock.last_k_checkpoints == serial.last_k_checkpoints
+        assert np.allclose(lock.reward_history, serial.reward_history,
+                           atol=1e-9, rtol=0.0)
+        assert np.allclose(lock.checkpoint_scores, serial.checkpoint_scores,
+                           atol=1e-9, rtol=0.0)
+
+
+def test_protocol_scores_identical_with_and_without_lockstep(env_setup):
+    setup = env_setup
+    scores = {}
+    for lockstep in (True, False):
+        config = EvaluationConfig(train_epochs=8, checkpoint_interval=4,
+                                  last_k_checkpoints=2, num_seeds=2,
+                                  a2c=A2CConfig(entropy_anneal_epochs=4),
+                                  lockstep_training=lockstep)
+        trainer = DesignTrainer(setup.video, setup.train_traces,
+                                setup.test_traces, config=config,
+                                qoe=setup.qoe)
+        protocol = TestScoreProtocol(trainer)
+        scores[lockstep] = protocol.score_original()
+    assert scores[True] == scores[False]
+
+
+def test_lockstep_with_bandwidth_noise_matches_serial(env_setup):
+    """Per-seed simulator RNG streams survive lockstep even with noise."""
+    from repro.abr.env import SimulatorConfig
+
+    setup = env_setup
+    config = EvaluationConfig(
+        train_epochs=6, checkpoint_interval=3, last_k_checkpoints=2,
+        num_seeds=2, a2c=A2CConfig(entropy_anneal_epochs=4),
+        simulator=SimulatorConfig(bandwidth_noise_std=0.1))
+    trainer = DesignTrainer(setup.video, setup.train_traces,
+                            setup.test_traces, config=config, qoe=setup.qoe)
+    lock_runs = trainer.run_seeds(None, None, [0, 1])
+    serial_runs = [trainer.run(None, None, seed=seed) for seed in (0, 1)]
+    for lock, serial in zip(lock_runs, serial_runs):
+        assert np.allclose(lock.reward_history, serial.reward_history,
+                           atol=1e-9, rtol=0.0)
+        assert np.allclose(lock.checkpoint_scores, serial.checkpoint_scores,
+                           atol=1e-9, rtol=0.0)
+
+
+# --------------------------------------------------------------------------- #
+# Fallbacks
+# --------------------------------------------------------------------------- #
+GENERIC_NETWORK = '''
+def build_network(state_shape, num_actions, rng=None):
+    return nn_library.GenericActorCritic(state_shape, num_actions,
+                                         hidden_sizes=(16, 16), rng=rng)
+'''.strip()
+
+
+def test_run_seeds_falls_back_for_unsupported_networks(env_setup):
+    setup = env_setup
+    design = Design(design_id="generic-net", kind=DesignKind.NETWORK,
+                    code=GENERIC_NETWORK)
+    config = EvaluationConfig(train_epochs=4, checkpoint_interval=2,
+                              last_k_checkpoints=2, num_seeds=2,
+                              a2c=A2CConfig(entropy_anneal_epochs=2))
+    trainer = DesignTrainer(setup.video, setup.train_traces,
+                            setup.test_traces, config=config, qoe=setup.qoe)
+    lock_runs = trainer.run_seeds(None, design, [0, 1])
+    serial_runs = [trainer.run(None, design, seed=seed) for seed in (0, 1)]
+    for lock, serial in zip(lock_runs, serial_runs):
+        assert lock.reward_history == serial.reward_history
+        assert lock.checkpoint_scores == serial.checkpoint_scores
+
+
+def test_run_seeds_falls_back_with_early_stopping(env_setup, monkeypatch):
+    setup = env_setup
+    config = EvaluationConfig(train_epochs=4, checkpoint_interval=2,
+                              last_k_checkpoints=2, num_seeds=2,
+                              a2c=A2CConfig(entropy_anneal_epochs=2))
+    trainer = DesignTrainer(setup.video, setup.train_traces,
+                            setup.test_traces, config=config, qoe=setup.qoe)
+    classifier = RewardTrajectoryClassifier(
+        EarlyStoppingConfig(reward_prefix_length=2, training_epochs=2))
+    classifier.fit([[0.0, 0.1], [0.2, 0.3], [0.1, 0.2], [0.4, 0.5]],
+                   [0.1, 0.9, 0.2, 0.8])
+    called = []
+    monkeypatch.setattr(
+        MultiSeedA2CTrainer, "__init__",
+        lambda self, *a, **k: called.append(True) or (_ for _ in ()).throw(
+            AssertionError("lockstep must not engage with early stopping")))
+    runs = trainer.run_seeds(None, None, [0, 1], early_stopping=classifier)
+    assert len(runs) == 2
+    assert not called
+
+
+def test_supports_rejects_mixed_and_generic_networks(env_setup):
+    setup = env_setup
+    agents = _agents(setup, [0, 1])
+    assert MultiSeedA2CTrainer.supports([a.network for a in agents])
+    generic = GenericActorCritic((6, 8), setup.video.num_bitrates)
+    assert not MultiSeedA2CTrainer.supports([agents[0].network, generic])
+    assert not PensieveSeedStack.compatible([])
+
+
+# --------------------------------------------------------------------------- #
+# Stacked kernels and optimizers
+# --------------------------------------------------------------------------- #
+def test_batched_matmul_matches_per_slice():
+    rng = np.random.default_rng(0)
+    a = rng.standard_normal((4, 5, 7))
+    b = rng.standard_normal((4, 7, 3))
+    out = nn.batched_matmul(a, b)
+    for s in range(4):
+        assert np.array_equal(out[s], a[s] @ b[s])
+    with pytest.raises(ValueError):
+        nn.batched_matmul(a[0], b)
+    with pytest.raises(ValueError):
+        nn.batched_matmul(a, rng.standard_normal((4, 6, 3)))
+
+
+def test_clip_grad_norm_stacked_matches_per_seed():
+    rng = np.random.default_rng(1)
+    shapes = [(3, 5), (7,), (2, 4, 4)]
+    seeds = 3
+    stacked = []
+    per_seed = [[] for _ in range(seeds)]
+    for shape in shapes:
+        grads = rng.standard_normal((seeds,) + shape) * 4.0
+        sp = nn.Parameter(np.zeros((seeds,) + shape))
+        sp.grad = grads.copy()
+        stacked.append(sp)
+        for s in range(seeds):
+            p = nn.Parameter(np.zeros(shape))
+            p.grad = grads[s].copy()
+            per_seed[s].append(p)
+    norms = nn.clip_grad_norm_stacked(stacked, max_norm=2.0)
+    for s in range(seeds):
+        norm = nn.clip_grad_norm(per_seed[s], max_norm=2.0)
+        assert norms[s] == norm
+        for sp, p in zip(stacked, per_seed[s]):
+            assert np.array_equal(sp.grad[s], p.grad)
+
+
+@pytest.mark.parametrize("name", ["sgd", "rmsprop", "adam"])
+def test_stacked_optimizers_match_per_seed(name):
+    rng = np.random.default_rng(2)
+    seeds, shape = 3, (9, 11)
+    data = rng.standard_normal((seeds,) + shape)
+    stacked = nn.Parameter(np.zeros(0))
+    stacked.data = data.copy()
+    singles = [nn.Parameter(np.zeros(0)) for _ in range(seeds)]
+    for s, p in enumerate(singles):
+        p.data = data[s].copy()
+    classes = {"sgd": (nn.StackedSGD, nn.SGD, {"momentum": 0.9,
+                                               "weight_decay": 1e-3}),
+               "rmsprop": (nn.StackedRMSProp, nn.RMSProp, {}),
+               "adam": (nn.StackedAdam, nn.Adam, {})}
+    stacked_cls, serial_cls, kwargs = classes[name]
+    stacked_opt = stacked_cls([stacked], lr=1e-2, **kwargs)
+    serial_opts = [serial_cls([p], lr=1e-2, **kwargs) for p in singles]
+    for _ in range(5):
+        grads = rng.standard_normal((seeds,) + shape)
+        stacked.grad = grads.copy()
+        stacked_opt.step()
+        for s, (p, opt) in enumerate(zip(singles, serial_opts)):
+            p.grad = grads[s].copy()
+            opt.step()
+    for s, p in enumerate(singles):
+        assert np.array_equal(stacked.data[s], p.data)
+
+
+def test_optimizer_param_groups_use_group_learning_rates():
+    a = nn.Parameter(np.ones(4))
+    b = nn.Parameter(np.ones(4))
+    optimizer = nn.SGD([{"params": [a], "lr": 0.1},
+                        {"params": [b], "lr": 0.01}])
+    a.grad = np.ones(4)
+    b.grad = np.ones(4)
+    optimizer.step()
+    assert np.allclose(a.data, 1.0 - 0.1)
+    assert np.allclose(b.data, 1.0 - 0.01)
+    with pytest.raises(ValueError):
+        nn.SGD([{"params": [a], "lr": -1.0}])
+
+
+def test_original_states_batched_matches_serial(env_setup):
+    setup = env_setup
+    sessions = [StreamingSession(setup.video, trace, qoe=setup.qoe)
+                for trace in list(setup.train_traces)[:3]]
+    rng = np.random.default_rng(3)
+    for session in sessions:
+        for _ in range(4):
+            session.step(int(rng.integers(setup.video.num_bitrates)))
+    state_fn = StateFunction.original()
+    expected = np.stack([state_fn(session.observe())
+                         for session in sessions])
+    out = np.empty_like(expected)
+    histories = [session.history_arrays for session in sessions]
+    simulator = sessions[0].simulator
+    original_states_batched(
+        np.stack([h[0] for h in histories]),
+        np.stack([h[1] for h in histories]),
+        np.stack([h[2] for h in histories]),
+        np.stack([h[3] for h in histories]),
+        setup.video.next_chunk_sizes(simulator.next_chunk_index),
+        simulator.remaining_chunks, setup.video.num_chunks,
+        np.asarray(setup.video.bitrates_kbps, dtype=np.float64), out=out)
+    assert np.array_equal(out, expected)
+
+
+def test_seed_stack_parameters_alias_network_weights(env_setup):
+    setup = env_setup
+    agents = _agents(setup, [0, 1])
+    stack = PensieveSeedStack([agent.network for agent in agents])
+    for index, agent in enumerate(agents):
+        for p, sp in zip(agent.network.parameters(), stack.parameters()):
+            assert p.data.base is sp.data
+            assert np.shares_memory(p.data, sp.data[index])
+
+
+# --------------------------------------------------------------------------- #
+# Critic learning rate (the silent-hyperparameter bugfix)
+# --------------------------------------------------------------------------- #
+def test_critic_lr_steps_critic_head_at_its_own_rate(env_setup):
+    setup = env_setup
+    config = A2CConfig(actor_lr=1e-2, critic_lr=1e-4, optimizer="sgd",
+                       max_grad_norm=1e9, entropy_anneal_epochs=1)
+    agent = instantiate_agent(None, None, setup.video, setup.train_traces,
+                              seed=0)
+    trainer = A2CTrainer(agent, setup.video, setup.train_traces,
+                         qoe=setup.qoe, config=config, seed=0)
+    network = agent.network
+    critic_before = network.critic_out.weight.data.copy()
+    actor_before = network.actor_out.weight.data.copy()
+    trainer.train_epoch()
+    critic_grad_step = critic_before - network.critic_out.weight.data
+    actor_grad_step = actor_before - network.actor_out.weight.data
+    critic_grad = network.critic_out.weight.grad
+    actor_grad = network.actor_out.weight.grad
+    assert np.allclose(critic_grad_step, config.critic_lr * critic_grad,
+                       atol=1e-12)
+    assert np.allclose(actor_grad_step, config.actor_lr * actor_grad,
+                       atol=1e-12)
+    # The critic head visibly moves slower than it would at actor_lr.
+    assert np.max(np.abs(critic_grad_step)) < np.max(np.abs(
+        config.actor_lr * critic_grad))
+
+
+def test_critic_head_parameters_cover_both_architectures(env_setup):
+    setup = env_setup
+    pensieve = _agents(setup, [0])[0].network
+    critic = pensieve.critic_head_parameters()
+    assert set(map(id, critic)) == {
+        id(p) for p in (pensieve.critic_hidden.parameters()
+                        + pensieve.critic_out.parameters())}
+    generic = GenericActorCritic((6, 8), 4, hidden_sizes=(8,))
+    ids = {id(p) for p in generic.critic_head_parameters()}
+    assert {id(p) for p in generic.critic_out.parameters()} <= ids
+    shared = GenericActorCritic((6, 8), 4, hidden_sizes=(8,),
+                                share_trunk=True)
+    assert ({id(p) for p in shared.critic_head_parameters()}
+            == {id(p) for p in shared.critic_out.parameters()})

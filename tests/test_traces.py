@@ -113,6 +113,22 @@ class TestTraceSet:
         ts = self._make(3)  # throughputs 1, 2, 3 with equal duration
         assert ts.mean_throughput_mbps == pytest.approx(2.0)
 
+    def test_std_throughput_time_weighted(self):
+        # Hand-computed: rates 1 and 5 Mbit/s held for 3 s and 1 s.  The
+        # time-weighted mean is (1*3 + 5*1)/4 = 2, so the time-weighted
+        # variance is (3*(1-2)^2 + 1*(5-2)^2)/4 = 3 and the std sqrt(3).
+        # A sample-weighted std would give 2.0 over the samples (1, 5) —
+        # the bug this pins against.
+        trace = Trace(np.array([0.0, 3.0, 4.0]), np.array([1.0, 5.0, 7.0]),
+                      name="handmade")
+        assert trace.std_throughput_mbps == pytest.approx(np.sqrt(3.0))
+        # Uniform sampling reduces to the ordinary sample std of the held
+        # rates, matching the time-weighted mean's conventions.
+        uniform = Trace(np.array([0.0, 1.0, 2.0, 3.0]),
+                        np.array([1.0, 2.0, 3.0, 9.0]), name="uniform")
+        assert uniform.std_throughput_mbps == pytest.approx(
+            np.std([1.0, 2.0, 3.0]))
+
     def test_sample_is_member(self, rng):
         ts = self._make()
         assert ts.sample(rng) in list(ts)
