@@ -1,13 +1,14 @@
 # Convenience targets for the Nada reproduction.
 #
-#   make smoke   - quick regression gate: fast tests + a 1-worker bench run
-#   make test    - the full tier-1 suite (tests + benchmark regenerations)
-#   make bench   - the evaluation-engine benchmark, refreshing BENCH_baseline.json
+#   make smoke          - quick regression gate: fast tests + a 1-worker bench run
+#   make test           - the full tier-1 suite (tests + benchmark regenerations)
+#   make bench          - the evaluation-engine benchmark, refreshing BENCH_baseline.json
+#   make campaign-smoke - multi-environment examples + CLI campaign at tiny scale
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: smoke test bench
+.PHONY: smoke test bench campaign-smoke
 
 smoke:
 	$(PYTHON) -m pytest -q -m "not slow"
@@ -18,3 +19,20 @@ test:
 
 bench:
 	$(PYTHON) benchmarks/bench_scales.py --json benchmarks/BENCH_baseline.json
+
+# Tiny end-to-end pass over the multi-environment scenarios: both examples at
+# smoke scale, then a two-environment CLI campaign exercising the scheduler
+# and the persistent result store (cold pass then warm replay).
+campaign-smoke:
+	$(PYTHON) examples/cellular_5g_streaming.py --dataset-scale 0.02 --num-designs 3 --train-epochs 8 --num-chunks 6
+	$(PYTHON) examples/starlink_satellite_abr.py --dataset-scale 0.05 --num-designs 3 --train-epochs 8 --num-chunks 6
+	rm -rf .campaign-smoke-store
+	$(PYTHON) -m repro campaign --environments fcc starlink --num-designs 2 \
+	    --dataset-scale 0.02 --num-chunks 6 --train-epochs 6 \
+	    --checkpoint-interval 2 --num-seeds 1 --no-early-stopping \
+	    --store .campaign-smoke-store
+	$(PYTHON) -m repro campaign --environments fcc starlink --num-designs 2 \
+	    --dataset-scale 0.02 --num-chunks 6 --train-epochs 6 \
+	    --checkpoint-interval 2 --num-seeds 1 --no-early-stopping \
+	    --store .campaign-smoke-store
+	rm -rf .campaign-smoke-store

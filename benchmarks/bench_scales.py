@@ -38,9 +38,10 @@ import contextlib
 import json
 import os
 import sys
+import tempfile
 import time
 from dataclasses import replace
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -54,6 +55,8 @@ from repro.core.evaluation import DesignTrainer, TestScoreProtocol
 from repro.core.filters import FilterPipeline
 from repro.core.generation import DesignGenerator, GenerationConfig
 from repro.core.parallel import ParallelConfig
+from repro.core.results import ResultStore
+from repro.core.scheduler import CampaignScheduler, EvaluationJob, protocol_score
 from repro.llm.synthetic import SyntheticLLM
 
 #: Scale used by the Table 3 benchmark (per environment x profile cell).
@@ -362,6 +365,127 @@ def run_multi_seed_benchmark(scale: Optional[ExperimentScale] = None,
     }
 
 
+def _campaign_workload(scale: ExperimentScale, environments: Sequence[str],
+                       designs: Sequence, lockstep: bool):
+    """Build the cross-environment job list for the campaign benchmark.
+
+    Returns ``(jobs, labels)`` where each label identifies one
+    (environment, design) cell; ``jobs`` carries one job per cell covering
+    the full seed batch.
+    """
+    config = replace(scale.evaluation_config(), lockstep_training=lockstep)
+    seeds = tuple(range(scale.num_seeds))
+    jobs: List[EvaluationJob] = []
+    labels: List[str] = []
+    for environment in environments:
+        setup = build_environment(environment, scale)
+        trainer = DesignTrainer(setup.video, setup.train_traces,
+                                setup.test_traces, config=config, qoe=setup.qoe)
+        for index, design in enumerate([None] + list(designs)):
+            jobs.append(EvaluationJob(
+                trainer=trainer, state_design=design, network_design=None,
+                seeds=seeds, environment=environment))
+            labels.append(f"{environment}/"
+                          f"{'original' if design is None else f'design-{index}'}")
+    return jobs, labels
+
+
+def run_campaign_benchmark(scale: Optional[ExperimentScale] = None,
+                           dtype: str = "float32",
+                           workers: int = 1,
+                           environments: Sequence[str] = ("fcc", "starlink"),
+                           num_designs: int = 2,
+                           num_seeds: int = 3) -> dict:
+    """A/B the campaign scheduler against the flat per-seed fan-out shape.
+
+    Three passes over the same multi-environment workload:
+
+    * **flat mode** — the pre-scheduler execution shape: one work item per
+      (design, seed) with lockstep off, i.e. what the old
+      ``run_many``-style flat fan-out executed;
+    * **campaign mode** — the scheduler's native shape: one job per design
+      covering the whole seed batch, trained in lockstep inside the worker,
+      writing a cold result store;
+    * **replay mode** — campaign mode again on the warm store, measuring
+      the resume/skip path.
+
+    Scores must agree exactly across all three (``max_score_delta`` /
+    ``replay_score_delta`` are expected to be 0.0).
+    """
+    scale = replace(scale or DEFAULT_BENCH_SCALE, num_seeds=num_seeds)
+    designs = _bench_designs(scale, num_designs)
+    previous_dtype = nn.set_default_dtype(dtype)
+    try:
+        # Flat per-seed shape: singleton seed batches, per-seed training.
+        flat_jobs = []
+        base_jobs, labels = _campaign_workload(scale, environments,
+                                               designs, lockstep=False)
+        for job in base_jobs:
+            flat_jobs.extend(replace(job, seeds=(seed,)) for seed in job.seeds)
+        flat_scheduler = CampaignScheduler(ParallelConfig(max_workers=workers))
+        start = time.perf_counter()
+        flat_results = flat_scheduler.run(flat_jobs)
+        flat_seconds = time.perf_counter() - start
+        flat_scores = {}
+        last_k = scale.last_k_checkpoints
+        for index, label in enumerate(labels):
+            chunk = flat_results[index * num_seeds:(index + 1) * num_seeds]
+            runs = [run for result in chunk for run in result.runs]
+            flat_scores[label] = protocol_score(runs, last_k)
+
+        # Campaign shape: one lockstep job per design, cold store.
+        campaign_jobs, labels = _campaign_workload(scale, environments,
+                                                   designs, lockstep=True)
+        with tempfile.TemporaryDirectory(prefix="bench-campaign-") as root:
+            store = ResultStore(root)
+            scheduler = CampaignScheduler(ParallelConfig(max_workers=workers),
+                                          store=store)
+            start = time.perf_counter()
+            campaign_results = scheduler.run(campaign_jobs)
+            campaign_seconds = time.perf_counter() - start
+
+            start = time.perf_counter()
+            replay_results = scheduler.run(campaign_jobs)
+            replay_seconds = time.perf_counter() - start
+            store_stats = store.statistics()
+    finally:
+        nn.set_default_dtype(previous_dtype)
+
+    campaign_scores = {label: result.score
+                       for label, result in zip(labels, campaign_results)}
+    replay_scores = {label: result.score
+                     for label, result in zip(labels, replay_results)}
+    score_delta = max(abs(flat_scores[k] - campaign_scores[k])
+                      for k in flat_scores)
+    replay_delta = max(abs(replay_scores[k] - campaign_scores[k])
+                       for k in campaign_scores)
+    return {
+        "workload": {
+            "environments": list(environments),
+            "train_epochs": scale.train_epochs,
+            "checkpoint_interval": scale.checkpoint_interval,
+            "num_seeds": num_seeds,
+            "num_chunks": scale.num_chunks,
+            "dataset_scale": scale.dataset_scale,
+            "designs_scored_per_environment": num_designs + 1,
+            "dtype": dtype,
+            "workers": workers,
+        },
+        "flat_mode": {"seconds": round(flat_seconds, 3),
+                      "scores": flat_scores},
+        "campaign_mode": {"seconds": round(campaign_seconds, 3),
+                          "scores": campaign_scores},
+        "replay_mode": {"seconds": round(replay_seconds, 3),
+                        "cached_jobs": sum(r.cached for r in replay_results)},
+        "speedup": round(flat_seconds / campaign_seconds, 2),
+        "replay_speedup": round(campaign_seconds / max(replay_seconds, 1e-9), 1),
+        "max_score_delta": score_delta,
+        "replay_score_delta": replay_delta,
+        "store": store_stats,
+        "cpu_count": os.cpu_count(),
+    }
+
+
 def _write_json(report: dict, path: str) -> None:
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
@@ -372,11 +496,14 @@ def _write_json(report: dict, path: str) -> None:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         description="End-to-end benchmark of the design-evaluation engine")
-    parser.add_argument("--mode", choices=["engine", "multi-seed"],
+    parser.add_argument("--mode", choices=["engine", "multi-seed", "campaign"],
                         default="engine",
                         help="engine: seed implementation vs optimized engine "
                              "(default); multi-seed: per-seed optimized "
-                             "training vs the lockstep multi-seed trainer")
+                             "training vs the lockstep multi-seed trainer; "
+                             "campaign: flat per-seed fan-out vs the campaign "
+                             "scheduler (lockstep jobs + result-store replay) "
+                             "on a multi-environment workload")
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="write the report as JSON (e.g. benchmarks/BENCH_baseline.json)")
     parser.add_argument("--workers", type=int, default=1,
@@ -387,8 +514,38 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="generated designs scored on top of the original")
     parser.add_argument("--num-seeds", type=int, default=5,
                         help="training seeds per design in --mode multi-seed "
-                             "(the paper's protocol uses 5)")
+                             "and --mode campaign (the paper's protocol "
+                             "uses 5)")
     args = parser.parse_args(argv)
+
+    if args.mode == "campaign":
+        report = run_campaign_benchmark(dtype=args.dtype,
+                                        workers=args.workers,
+                                        num_designs=max(args.designs, 2),
+                                        num_seeds=args.num_seeds)
+        workload = report["workload"]
+        cells = (len(workload["environments"])
+                 * workload["designs_scored_per_environment"])
+        print(f"workload      : {cells} (environment x design) cells over "
+              f"{', '.join(workload['environments'])}, "
+              f"{workload['num_seeds']} seeds x "
+              f"{workload['train_epochs']} epochs ({workload['dtype']}, "
+              f"workers={workload['workers']})")
+        print(f"flat mode     : {report['flat_mode']['seconds']:8.3f} s  "
+              "(one work item per (design, seed), per-seed training)")
+        print(f"campaign mode : {report['campaign_mode']['seconds']:8.3f} s  "
+              "(one lockstep job per design, cold result store)")
+        print(f"replay mode   : {report['replay_mode']['seconds']:8.3f} s  "
+              f"({report['replay_mode']['cached_jobs']} jobs served from the "
+              "store)")
+        print(f"speedup       : {report['speedup']:8.2f} x  (flat -> campaign)")
+        print(f"replay speedup: {report['replay_speedup']:8.1f} x  "
+              "(campaign -> warm store)")
+        print(f"score delta   : {report['max_score_delta']:8.2e} "
+              "(max |flat - campaign|)")
+        if args.json:
+            _write_json(report, args.json)
+        return 0
 
     if args.mode == "multi-seed":
         report = run_multi_seed_benchmark(dtype=args.dtype,

@@ -16,9 +16,15 @@ This example:
    generated design still wins).
 
 Run with:  python examples/cellular_5g_streaming.py
+
+A tiny smoke configuration (used by ``make campaign-smoke`` / CI) finishes in
+seconds:  python examples/cellular_5g_streaming.py --dataset-scale 0.02 \
+    --num-designs 3 --train-epochs 8 --num-chunks 6
 """
 
 from __future__ import annotations
+
+import argparse
 
 from repro.abr import LinearQoE, synthetic_video
 from repro.analysis import (
@@ -28,16 +34,30 @@ from repro.analysis import (
 )
 
 
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--dataset-scale", type=float, default=0.04,
+                        help="fraction of the published 5G dataset size")
+    parser.add_argument("--num-designs", type=int, default=10,
+                        help="candidate state designs to generate")
+    parser.add_argument("--train-epochs", type=int, default=60,
+                        help="training episodes per design per seed")
+    parser.add_argument("--num-chunks", type=int, default=16,
+                        help="chunks per video")
+    return parser.parse_args()
+
+
 def main() -> None:
+    args = parse_args()
     scale = ExperimentScale(
-        dataset_scale=0.04,
-        num_chunks=16,
-        train_epochs=60,
-        checkpoint_interval=15,
+        dataset_scale=args.dataset_scale,
+        num_chunks=args.num_chunks,
+        train_epochs=args.train_epochs,
+        checkpoint_interval=max(1, args.train_epochs // 4),
         last_k_checkpoints=3,
         num_seeds=1,
-        num_designs=10,
-        max_trained_designs=5,
+        num_designs=args.num_designs,
+        max_trained_designs=max(2, args.num_designs // 2),
         seed=0,
     )
     video = synthetic_video("high", num_chunks=scale.num_chunks, seed=0)

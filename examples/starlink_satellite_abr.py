@@ -14,9 +14,15 @@ This example:
 5. prints the resulting QoE comparison.
 
 Run with:  python examples/starlink_satellite_abr.py
+
+A tiny smoke configuration (used by ``make campaign-smoke`` / CI) finishes in
+seconds:  python examples/starlink_satellite_abr.py --dataset-scale 0.05 \
+    --num-designs 3 --train-epochs 8 --num-chunks 6
 """
 
 from __future__ import annotations
+
+import argparse
 
 import numpy as np
 
@@ -44,9 +50,24 @@ def evaluate_baseline(policy_factory, video, traces, qoe) -> float:
     return float(np.mean(scores))
 
 
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--dataset-scale", type=float, default=0.3,
+                        help="fraction of the published Starlink dataset size")
+    parser.add_argument("--num-designs", type=int, default=12,
+                        help="candidate state designs to generate")
+    parser.add_argument("--train-epochs", type=int, default=80,
+                        help="training episodes per design per seed")
+    parser.add_argument("--num-chunks", type=int, default=16,
+                        help="chunks per video")
+    return parser.parse_args()
+
+
 def main() -> None:
-    train_traces, test_traces = build_dataset("starlink", seed=0, scale=0.3)
-    video = synthetic_video("standard", num_chunks=16, seed=0)
+    args = parse_args()
+    train_traces, test_traces = build_dataset("starlink", seed=0,
+                                              scale=args.dataset_scale)
+    video = synthetic_video("standard", num_chunks=args.num_chunks, seed=0)
     qoe = LinearQoE(video.bitrates_kbps)
     print(f"Starlink peak-hour environment: mean bandwidth "
           f"{test_traces.mean_throughput_mbps:.2f} Mbps over {len(test_traces)} test traces")
@@ -63,13 +84,16 @@ def main() -> None:
         rows.append([name, f"{evaluate_baseline(factory, video, test_traces, qoe):.3f}"])
 
     # --- original Pensieve vs. Nada-generated state ------------------------
+    epochs = args.train_epochs
     config = NadaConfig(
         target="state",
-        num_designs=12,
+        num_designs=args.num_designs,
         llm="gpt-4",
-        evaluation=EvaluationConfig(train_epochs=80, checkpoint_interval=20,
-                                    last_k_checkpoints=3, num_seeds=2,
-                                    a2c=A2CConfig(entropy_anneal_epochs=40)),
+        evaluation=EvaluationConfig(
+            train_epochs=epochs,
+            checkpoint_interval=max(1, epochs // 4),
+            last_k_checkpoints=3, num_seeds=2,
+            a2c=A2CConfig(entropy_anneal_epochs=max(1, epochs // 2))),
         use_early_stopping=True,
         bootstrap_fraction=0.4,
         seed=0,

@@ -21,9 +21,11 @@ from ..abr.video import Video, synthetic_video
 from ..core.design import CandidatePool, Design, DesignKind, DesignStatus
 from ..core.evaluation import DesignTrainer, EvaluationConfig, TestScoreProtocol, instantiate_agent
 from ..core.filters import FilterPipeline, FilterReport
+from ..core.parallel import ParallelConfig
 from ..core.generation import DesignGenerator, GenerationConfig
-from ..core.parallel import ParallelConfig, parallel_map
 from ..core.predictors import DesignSampleFeatures
+from ..core.results import ResultStore
+from ..core.scheduler import CampaignScheduler
 from ..core.prompts import PromptConfig
 from ..emulation.emulator import EmulationConfig, Emulator
 from ..llm.synthetic import SyntheticLLM
@@ -74,16 +76,20 @@ class ExperimentScale:
     entropy_weight_end: float = 0.05
     #: Base random seed.
     seed: int = 0
-    #: Worker processes for the (design, seed) evaluation fan-out; None reads
+    #: Worker processes for the scheduler's across-job fan-out; None reads
     #: the REPRO_WORKERS environment variable, <= 1 runs serially.
     workers: Optional[int] = 1
     #: Tensor dtype for the nn substrate: "float64" (accuracy-first default)
     #: or "float32" (fast path).  Applied by the experiment drivers.
     dtype: str = "float64"
     #: Train all seeds of a design in lockstep with stacked per-seed weights
-    #: when the architecture supports it (serial executions only; results are
-    #: identical to per-seed training, just faster on one core).
+    #: when the architecture supports it.  The scheduler runs one design's
+    #: seed batch inside one worker, so lockstep composes with the process
+    #: fan-out; results are identical to per-seed training, just faster.
     lockstep: bool = True
+    #: Directory of the persistent result store shared by the drivers; None
+    #: (default) recomputes everything.
+    store_dir: Optional[str] = None
 
     def evaluation_config(self) -> EvaluationConfig:
         return EvaluationConfig(
@@ -99,6 +105,11 @@ class ExperimentScale:
 
     def parallel_config(self) -> ParallelConfig:
         return ParallelConfig(max_workers=self.workers)
+
+    def scheduler(self) -> CampaignScheduler:
+        """The work-graph execution layer every driver submits jobs to."""
+        store = ResultStore(self.store_dir) if self.store_dir else None
+        return CampaignScheduler(parallel=self.parallel_config(), store=store)
 
 
 @dataclass
@@ -194,7 +205,8 @@ def _run_component_experiment(environment: str, kind: str, llm_profile: str,
 
     trainer = DesignTrainer(setup.video, setup.train_traces, setup.test_traces,
                             config=scale.evaluation_config(), qoe=setup.qoe)
-    protocol = TestScoreProtocol(trainer, parallel=scale.parallel_config())
+    protocol = TestScoreProtocol(trainer, scheduler=scale.scheduler(),
+                                 environment=setup.environment)
 
     original_score, original_runs = protocol.run(None, None)
     comparison = CurveComparison(
@@ -207,17 +219,14 @@ def _run_component_experiment(environment: str, kind: str, llm_profile: str,
     evaluated_scores: Dict[str, float] = {}
     best_design: Optional[Design] = None
     best_runs = None
-    # One flat (design, seed) sweep; results come back in design order.
-    jobs = [(design if design_kind == DesignKind.STATE else None,
-             design if design_kind == DesignKind.NETWORK else None)
-            for design in survivors]
-    for design, (score, runs) in zip(survivors, protocol.run_many(jobs)):
-        design.record_training(runs[0].reward_history, runs[0].checkpoint_scores)
-        design.finalize(score)
+    # One scheduled job batch; results come back in design order, and the
+    # protocol applies the same per-design bookkeeping the pipeline uses.
+    scores, results = protocol.score_designs_detailed(survivors)
+    for design, score, result in zip(survivors, scores, results):
         evaluated_scores[design.design_id] = score
         if best_design is None or (design.test_score or -np.inf) > (best_design.test_score or -np.inf):
             best_design = design
-            best_runs = runs
+            best_runs = result.runs
 
     best_score = best_design.test_score if best_design is not None else None
     if best_runs is not None:
@@ -290,7 +299,8 @@ def _run_combination_experiment(environment: str, llm_profile: str,
 
     trainer = DesignTrainer(setup.video, setup.train_traces, setup.test_traces,
                             config=scale.evaluation_config(), qoe=setup.qoe)
-    protocol = TestScoreProtocol(trainer, parallel=scale.parallel_config())
+    protocol = TestScoreProtocol(trainer, scheduler=scale.scheduler(),
+                                 environment=setup.environment)
     original_score, _ = protocol.run(None, None)
 
     def evaluate_pool(pool: CandidatePool, kind: DesignKind) -> List[Design]:
@@ -414,9 +424,13 @@ def _run_emulation_comparison(environment: str, llm_profile: str,
 # Figure 5: labelled corpus for the early-stopping comparison
 # --------------------------------------------------------------------------- #
 def _corpus_sample(args) -> DesignSampleFeatures:
-    """Worker: train one corpus design and extract its features."""
-    setup, config, design, seed, eval_seed, dtype = args
-    nn.set_default_dtype(dtype)
+    """Worker: train one corpus design and extract its features.
+
+    The scheduler's ``map_items`` propagates the tensor dtype and
+    fast-inference toggle into worker processes, so the sample only carries
+    workload inputs.
+    """
+    setup, config, design, seed, eval_seed = args
     agent = instantiate_agent(design, None, setup.video, setup.train_traces,
                               seed=seed)
     trainer = A2CTrainer(agent, setup.video, setup.train_traces, qoe=setup.qoe,
@@ -439,8 +453,8 @@ def build_design_corpus(environment: str = "fcc", llm_profile: str = "gpt-4",
 
     This is the corpus the early-stopping study consumes: each design
     contributes its early training-reward trajectory, its source code and its
-    final test score.  Designs are independent, so the sweep fans out across
-    ``scale.workers`` processes.
+    final test score.  Designs are independent, so the campaign scheduler
+    fans the sweep out across ``scale.workers`` processes.
     """
     scale = scale or ExperimentScale()
     scale = replace(scale, num_designs=num_designs)
@@ -458,6 +472,6 @@ def _build_design_corpus(environment: str, llm_profile: str, num_designs: int,
     FilterPipeline().apply(pool)
 
     config = scale.evaluation_config()
-    work = [(setup, config, design, scale.seed + index, scale.seed, scale.dtype)
+    work = [(setup, config, design, scale.seed + index, scale.seed)
             for index, design in enumerate(pool.surviving_prechecks())]
-    return parallel_map(_corpus_sample, work, scale.parallel_config())
+    return scale.scheduler().map_items(_corpus_sample, work)

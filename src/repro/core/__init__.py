@@ -35,7 +35,12 @@ from .filters import (
 )
 from .generation import DesignGenerator, GenerationConfig
 from .parallel import ParallelConfig, effective_workers, parallel_map
-from .pipeline import NadaConfig, NadaPipeline, NadaResult
+from .pipeline import (CampaignResult, NadaCampaign, NadaConfig, NadaPipeline,
+                       NadaResult)
+from .results import (ResultStore, context_fingerprint, design_fingerprint,
+                      result_key)
+from .scheduler import (CampaignScheduler, EvaluationJob, JobResult,
+                        protocol_score)
 from .predictors import (
     DesignSampleFeatures,
     EarlyStopPredictor,
@@ -86,6 +91,10 @@ __all__ = [
     "TestScoreProtocol",
     # parallel
     "ParallelConfig", "parallel_map", "effective_workers",
+    # scheduler + result store
+    "CampaignScheduler", "EvaluationJob", "JobResult", "protocol_score",
+    "ResultStore", "design_fingerprint", "context_fingerprint", "result_key",
     # pipeline
     "NadaConfig", "NadaResult", "NadaPipeline",
+    "NadaCampaign", "CampaignResult",
 ]

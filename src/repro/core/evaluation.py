@@ -20,10 +20,8 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .. import nn
 from ..abr.env import SimulatorConfig, StreamingSession
-from ..abr.networks import (fast_inference_enabled, original_network_builder,
-                            set_fast_inference)
+from ..abr.networks import original_network_builder
 from ..abr.qoe import LinearQoE, QoEMetric
 from ..abr.state import StateFunction
 from ..abr.video import Video
@@ -34,7 +32,9 @@ from ..traces.base import TraceSet
 from .codegen import load_network_builder, load_state_function
 from .design import Design, DesignKind, DesignStatus
 from .early_stopping import RewardTrajectoryClassifier
-from .parallel import ParallelConfig, parallel_map
+from .parallel import ParallelConfig
+from .results import ResultStore
+from .scheduler import CampaignScheduler, EvaluationJob, JobResult, protocol_score
 
 __all__ = [
     "EvaluationConfig",
@@ -68,10 +68,11 @@ class EvaluationConfig:
     batched_evaluation: bool = True
     #: Train all seeds of a design simultaneously with stacked per-seed
     #: weights and batched fused updates (the multi-seed lockstep engine).
-    #: Applies only when the design's network supports fused updates, the
-    #: evaluation runs serially (no process fan-out) and no early-stopping
-    #: classifier is attached; anything else falls back to the per-seed
-    #: path.  Seed-for-seed results are identical either way (tested).
+    #: The campaign scheduler runs one design's whole seed batch inside one
+    #: worker, so lockstep applies both serially and under process fan-out.
+    #: Requires a network with fused updates and no early-stopping
+    #: classifier; anything else falls back to the per-seed path.
+    #: Seed-for-seed results are identical either way (tested).
     lockstep_training: bool = True
 
     def scaled(self, factor: float) -> "EvaluationConfig":
@@ -220,6 +221,11 @@ class DesignTrainer:
         desynchronize the lockstep), and the instantiated networks support
         stacked fused updates.  Otherwise every seed runs through
         :meth:`run`.  Both paths produce identical records seed for seed.
+
+        This is also the campaign scheduler's worker entry point: one
+        scheduled job trains one design's whole seed batch here, inside a
+        single worker process, so lockstep training composes with the
+        across-design process fan-out instead of competing with it.
         """
         cfg = self.config
         if (cfg.lockstep_training and early_stopping is None
@@ -266,125 +272,80 @@ class DesignTrainer:
                     seeds, trainer.reward_histories, checkpoint_scores)]
 
 
-@dataclass(frozen=True)
-class _SeedTask:
-    """One picklable (design, seed) work item for the parallel executor."""
-
-    trainer: "DesignTrainer"
-    state_design: Optional[Design]
-    network_design: Optional[Design]
-    seed: int
-    early_stopping: Optional[RewardTrajectoryClassifier]
-    dtype: str
-    fast_inference: bool
-
-
-def _run_seed_task(task: _SeedTask) -> TrainingRun:
-    """Worker entry point: train one (design, seed) pair to completion.
-
-    Runs identical code to the serial path — worker processes only change
-    *where* the computation happens, never its inputs, so the resulting
-    :class:`TrainingRun` is bit-identical either way.  The tensor dtype and
-    fast-inference toggle are re-applied because spawned workers start from
-    a fresh interpreter.
-    """
-    nn.set_default_dtype(task.dtype)
-    set_fast_inference(task.fast_inference)
-    return task.trainer.run(task.state_design, task.network_design,
-                            seed=task.seed, early_stopping=task.early_stopping)
-
-
 class TestScoreProtocol:
     """The paper's aggregation: median over seeds of last-k checkpoint means.
 
-    With a :class:`~repro.core.parallel.ParallelConfig` the per-seed training
-    sessions (and, via :meth:`run_many`, whole design sweeps) fan out across
-    worker processes; results are merged in submission order so the scores
-    are bit-identical to the serial path.
+    Execution is owned entirely by the
+    :class:`~repro.core.scheduler.CampaignScheduler`: every call builds
+    (design pair, environment, seed batch) jobs and submits them in one
+    batch.  Each job trains its seeds in lockstep inside one worker while
+    distinct jobs fan out across the process pool, and results merge in
+    submission order — so scores are bit-identical to the serial reference
+    regardless of worker count.  With a result store attached, previously
+    scored jobs are answered from disk.
     """
 
     #: Not a pytest test class, despite the (domain-specific) name.
     __test__ = False
 
     def __init__(self, trainer: DesignTrainer, seeds: Optional[Sequence[int]] = None,
-                 parallel: Optional[ParallelConfig] = None) -> None:
+                 parallel: Optional[ParallelConfig] = None,
+                 store: Optional[ResultStore] = None,
+                 scheduler: Optional[CampaignScheduler] = None,
+                 environment: str = "") -> None:
         self.trainer = trainer
         config = trainer.config
         self.seeds = list(seeds) if seeds is not None else list(range(config.num_seeds))
         if not self.seeds:
             raise ValueError("at least one seed is required")
-        self.parallel = parallel or ParallelConfig()
+        self.scheduler = scheduler or CampaignScheduler(
+            parallel=parallel or ParallelConfig(), store=store)
+        self.environment = environment
 
     # ------------------------------------------------------------------ #
-    def _seed_tasks(self, state_design: Optional[Design],
-                    network_design: Optional[Design],
-                    early_stopping: Optional[RewardTrajectoryClassifier],
-                    ) -> List[_SeedTask]:
-        dtype = str(nn.get_default_dtype())
-        fast = fast_inference_enabled()
-        return [_SeedTask(self.trainer, state_design, network_design, seed,
-                          early_stopping, dtype, fast)
-                for seed in self.seeds]
+    def job(self, state_design: Optional[Design],
+            network_design: Optional[Design],
+            early_stopping: Optional[RewardTrajectoryClassifier] = None,
+            ) -> EvaluationJob:
+        """One scheduler job covering this protocol's full seed batch."""
+        return EvaluationJob(trainer=self.trainer, state_design=state_design,
+                             network_design=network_design,
+                             seeds=tuple(self.seeds),
+                             early_stopping=early_stopping,
+                             environment=self.environment)
+
+    def design_jobs(self, designs: Sequence[Design],
+                    early_stopping: Optional[RewardTrajectoryClassifier] = None,
+                    ) -> List[EvaluationJob]:
+        """One job per design (paired with the original other component)."""
+        return [self.job(*self._design_job(design), early_stopping=early_stopping)
+                for design in designs]
 
     def _aggregate(self, runs: Sequence[TrainingRun]) -> float:
-        cfg = self.trainer.config
-        completed = [run for run in runs if not run.early_stopped]
-        scoring_runs = completed if completed else list(runs)
-        per_seed = [run.smoothed_score(cfg.last_k_checkpoints)
-                    for run in scoring_runs]
-        finite = [s for s in per_seed if np.isfinite(s)]
-        return float(np.median(finite)) if finite else float("-inf")
-
-    def _serial_execution(self) -> bool:
-        """True when no process fan-out is configured (lockstep territory)."""
-        return self.parallel.resolved_workers() <= 1
+        return protocol_score(runs, self.trainer.config.last_k_checkpoints)
 
     def run(self, state_design: Optional[Design], network_design: Optional[Design],
             early_stopping: Optional[RewardTrajectoryClassifier] = None,
             ) -> Tuple[float, List[TrainingRun]]:
-        """Train across all seeds; returns (test score, per-seed runs).
-
-        Serial executions route through :meth:`DesignTrainer.run_seeds`,
-        which trains all seeds in lockstep when the design supports stacked
-        fused updates; parallel executions keep the per-seed process
-        fan-out.  Scores are identical either way.
-        """
-        if self._serial_execution():
-            runs = self.trainer.run_seeds(state_design, network_design,
-                                          self.seeds,
-                                          early_stopping=early_stopping)
-            return self._aggregate(runs), runs
-        tasks = self._seed_tasks(state_design, network_design, early_stopping)
-        runs = parallel_map(_run_seed_task, tasks, self.parallel)
-        return self._aggregate(runs), runs
+        """Train across all seeds; returns (test score, per-seed runs)."""
+        result, = self.scheduler.run(
+            [self.job(state_design, network_design, early_stopping)])
+        return result.score, result.runs
 
     def run_many(self, jobs: Sequence[Tuple[Optional[Design], Optional[Design]]],
                  early_stopping: Optional[RewardTrajectoryClassifier] = None,
                  ) -> List[Tuple[float, List[TrainingRun]]]:
-        """Evaluate several (state, network) jobs in one flat (job, seed) sweep.
+        """Evaluate several (state, network) pairs in one scheduled batch.
 
-        All ``len(jobs) * len(seeds)`` work items are submitted to a single
-        executor pass, which keeps every worker busy even when individual jobs
-        have fewer seeds than there are workers.  Per-job results come back in
-        job order with seeds in protocol order, exactly as if each job had
-        been run serially.  Serial executions instead train each job's seeds
-        in lockstep (when supported), which is the faster engine on one core.
+        All jobs are submitted to a single scheduler pass, which keeps every
+        worker busy across the whole sweep; per-job results come back in
+        submission order with seeds in protocol order, exactly as if each
+        pair had been run serially.
         """
-        if self._serial_execution():
-            return [self.run(state_design, network_design,
-                             early_stopping=early_stopping)
-                    for state_design, network_design in jobs]
-        tasks: List[_SeedTask] = []
-        for state_design, network_design in jobs:
-            tasks.extend(self._seed_tasks(state_design, network_design,
-                                          early_stopping))
-        flat_runs = parallel_map(_run_seed_task, tasks, self.parallel)
-        num_seeds = len(self.seeds)
-        results: List[Tuple[float, List[TrainingRun]]] = []
-        for index in range(len(jobs)):
-            runs = list(flat_runs[index * num_seeds:(index + 1) * num_seeds])
-            results.append((self._aggregate(runs), runs))
-        return results
+        scheduled = self.scheduler.run(
+            [self.job(state_design, network_design, early_stopping)
+             for state_design, network_design in jobs])
+        return [(result.score, result.runs) for result in scheduled]
 
     @staticmethod
     def _design_job(design: Design) -> Tuple[Optional[Design], Optional[Design]]:
@@ -412,6 +373,12 @@ class TestScoreProtocol:
         design.finalize(score)
         return score
 
+    def record_results(self, designs: Sequence[Design],
+                       results: Sequence[JobResult]) -> List[float]:
+        """Apply one scheduled batch's results to the designs, in order."""
+        return [self._record_design(design, result.score, result.runs)
+                for design, result in zip(designs, results)]
+
     def score_design(self, design: Design,
                      early_stopping: Optional[RewardTrajectoryClassifier] = None,
                      ) -> float:
@@ -420,19 +387,32 @@ class TestScoreProtocol:
         score, runs = self.run(state, network, early_stopping=early_stopping)
         return self._record_design(design, score, runs)
 
+    def score_designs_detailed(self, designs: Sequence[Design],
+                               early_stopping: Optional[RewardTrajectoryClassifier] = None,
+                               ) -> Tuple[List[float], List[JobResult]]:
+        """Evaluate a design sweep and return (recorded scores, job results).
+
+        One scheduler pass covers every design; each design gets the same
+        bookkeeping :meth:`score_design` applies.  The
+        :class:`~repro.core.scheduler.JobResult` list gives callers access
+        to the per-seed runs (e.g. for training curves).
+        """
+        results = self.scheduler.run(
+            self.design_jobs(designs, early_stopping=early_stopping))
+        return self.record_results(designs, results), results
+
     def score_designs(self, designs: Sequence[Design],
                       early_stopping: Optional[RewardTrajectoryClassifier] = None,
                       ) -> List[float]:
         """Evaluate a design sweep as one flat (design, seed) fan-out.
 
         Equivalent to calling :meth:`score_design` on each design in order
-        (same scores, same per-design bookkeeping), but all work items share
-        one executor pass so parallel workers stay saturated across designs.
+        (same scores, same per-design bookkeeping), but all jobs share one
+        scheduler pass so parallel workers stay saturated across designs.
         """
-        jobs = [self._design_job(design) for design in designs]
-        results = self.run_many(jobs, early_stopping=early_stopping)
-        return [self._record_design(design, score, runs)
-                for design, (score, runs) in zip(designs, results)]
+        scores, _ = self.score_designs_detailed(designs,
+                                                early_stopping=early_stopping)
+        return scores
 
     def score_original(self) -> float:
         """Evaluate the unmodified Pensieve design under the same protocol."""

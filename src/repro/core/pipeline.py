@@ -1,4 +1,4 @@
-"""The end-to-end Nada pipeline (Figure 1 of the paper).
+"""The end-to-end Nada pipeline (Figure 1 of the paper) and campaign driver.
 
 Stages:
 
@@ -12,12 +12,21 @@ Stages:
    early-stopping classifier consulted after the first K episodes.
 5. **Selection** — the best design (per the §3.1 test-score protocol) is
    reported alongside the original design's score.
+
+All training executes through the
+:class:`~repro.core.scheduler.CampaignScheduler`: each stage is expressed as
+a batch of (design, environment, seed-batch) jobs, so one pipeline and a
+multi-environment campaign (:class:`NadaCampaign`) run on the same
+substrate.  A campaign interleaves every environment's stage-1 jobs into a
+single scheduler pass (and likewise for stage 2), which keeps all workers
+busy across environments, shares one result store, and keeps scores
+bit-identical to running each environment serially.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -26,7 +35,7 @@ from ..abr.video import Video, synthetic_video
 from ..llm.base import LLMClient
 from ..llm.synthetic import SyntheticLLM
 from ..traces.base import TraceSet
-from ..traces.registry import ENVIRONMENTS, build_dataset
+from ..traces.registry import ENVIRONMENTS, build_dataset, list_environments
 from .design import CandidatePool, Design, DesignKind, DesignStatus
 from .early_stopping import EarlyStoppingConfig, RewardTrajectoryClassifier
 from .evaluation import DesignTrainer, EvaluationConfig, TestScoreProtocol
@@ -34,8 +43,11 @@ from .filters import FilterPipeline, FilterReport
 from .generation import DesignGenerator, GenerationConfig
 from .parallel import ParallelConfig
 from .prompts import PromptConfig
+from .results import ResultStore
+from .scheduler import CampaignScheduler, EvaluationJob, JobResult
 
-__all__ = ["NadaConfig", "NadaResult", "NadaPipeline"]
+__all__ = ["NadaConfig", "NadaResult", "NadaPipeline",
+           "CampaignResult", "NadaCampaign"]
 
 
 @dataclass
@@ -61,9 +73,14 @@ class NadaConfig:
     min_bootstrap_designs: int = 5
     #: Base random seed for generation and training.
     seed: int = 0
-    #: Worker processes for the (design, seed) evaluation fan-out; None reads
-    #: the REPRO_WORKERS environment variable, <= 1 runs serially.
+    #: Worker processes for the scheduler's across-design job fan-out; None
+    #: reads the REPRO_WORKERS environment variable, <= 1 runs serially.
+    #: Each job still trains its seed batch in lockstep inside its worker.
     workers: Optional[int] = 1
+    #: Directory of the persistent result store; None disables persistence.
+    #: With a store, repeated campaigns skip already-scored (design,
+    #: environment, seed) work and interrupted campaigns resume.
+    store_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.target not in ("state", "network", "both"):
@@ -119,13 +136,31 @@ class NadaResult:
         return "\n".join(lines)
 
 
+@dataclass
+class _PipelineStages:
+    """Mutable campaign state threaded through one pipeline's stages."""
+
+    pool: CandidatePool
+    filter_report: FilterReport
+    #: Designs trained fully up front (everything, when early stopping is off).
+    bootstrap: List[Design]
+    #: Designs evaluated afterwards under the fitted classifier.
+    remainder: List[Design]
+    original_score: float = float("nan")
+    early_stopper: Optional[RewardTrajectoryClassifier] = None
+    fully_trained: int = 0
+
+
 class NadaPipeline:
     """Orchestrates generation, filtering and evaluation for one environment."""
 
     def __init__(self, video: Video, train_traces: TraceSet, test_traces: TraceSet,
                  config: Optional[NadaConfig] = None,
                  qoe: Optional[QoEMetric] = None,
-                 llm_client: Optional[LLMClient] = None) -> None:
+                 llm_client: Optional[LLMClient] = None,
+                 scheduler: Optional[CampaignScheduler] = None,
+                 store: Optional[ResultStore] = None,
+                 environment: str = "") -> None:
         self.video = video
         self.train_traces = train_traces
         self.test_traces = test_traces
@@ -133,27 +168,66 @@ class NadaPipeline:
         self.qoe = qoe or LinearQoE(video.bitrates_kbps)
         self.llm_client = llm_client or SyntheticLLM(self.config.llm,
                                                      seed=self.config.seed)
+        self.environment = environment
+        if scheduler is None:
+            if store is None and self.config.store_dir:
+                store = ResultStore(self.config.store_dir)
+            scheduler = CampaignScheduler(
+                parallel=ParallelConfig(max_workers=self.config.workers),
+                store=store)
+        self._scheduler = scheduler
         self._trainer = DesignTrainer(video, train_traces, test_traces,
                                       config=self.config.evaluation, qoe=self.qoe)
-        self._protocol = TestScoreProtocol(
-            self._trainer,
-            parallel=ParallelConfig(max_workers=self.config.workers))
+        self._protocol = TestScoreProtocol(self._trainer,
+                                           scheduler=self._scheduler,
+                                           environment=environment)
+
+    @property
+    def scheduler(self) -> CampaignScheduler:
+        """The work-graph layer this pipeline's training executes on."""
+        return self._scheduler
 
     # ------------------------------------------------------------------ #
     @classmethod
     def for_environment(cls, environment: str, config: Optional[NadaConfig] = None,
                         dataset_scale: float = 0.05, num_chunks: int = 24,
                         seed: int = 0,
-                        llm_client: Optional[LLMClient] = None) -> "NadaPipeline":
-        """Convenience constructor: build traces and video for a named environment."""
-        spec = ENVIRONMENTS[environment.lower()]
+                        llm_client: Optional[LLMClient] = None,
+                        schedule_scale: Optional[float] = None,
+                        scheduler: Optional[CampaignScheduler] = None,
+                        store: Optional[ResultStore] = None) -> "NadaPipeline":
+        """Convenience constructor: build traces and video for a named environment.
+
+        With ``schedule_scale`` set, the environment's published Table 1
+        training schedule (``EnvironmentSpec.train_epochs`` /
+        ``test_interval``) is applied — scaled by the factor — as the
+        evaluation schedule, overriding whatever the config carried; the
+        entropy-anneal horizon is re-derived from the scaled epoch budget as
+        the CLI does.  Leave it ``None`` to keep the config's explicit
+        schedule.
+        """
+        key = environment.lower()
+        spec = ENVIRONMENTS[key]
+        config = config if config is not None else NadaConfig()
+        if schedule_scale is not None:
+            epochs, interval = spec.evaluation_schedule(schedule_scale)
+            config = replace(config, evaluation=replace(
+                config.evaluation, train_epochs=epochs,
+                checkpoint_interval=interval,
+                a2c=replace(config.evaluation.a2c,
+                            entropy_anneal_epochs=max(epochs // 2, 1))))
         train, test = build_dataset(environment, seed=seed, scale=dataset_scale)
         video = synthetic_video(spec.bitrate_ladder, num_chunks=num_chunks, seed=seed)
-        return cls(video, train, test, config=config, llm_client=llm_client)
+        return cls(video, train, test, config=config, llm_client=llm_client,
+                   scheduler=scheduler, store=store, environment=key)
 
     # ------------------------------------------------------------------ #
-    def run(self) -> NadaResult:
-        """Execute the full pipeline and return its result."""
+    # The pipeline as a staged work graph.  ``run`` executes the stages
+    # back-to-back; ``NadaCampaign`` interleaves the same stages across
+    # several environments so each scheduler pass sees every ready job.
+    # ------------------------------------------------------------------ #
+    def _prepare(self) -> _PipelineStages:
+        """Stages 1-2 (generation + pre-checks) and the bootstrap split."""
         cfg = self.config
         pool = CandidatePool()
         generator = DesignGenerator(
@@ -168,17 +242,9 @@ class NadaPipeline:
         for kind in kinds:
             generator.populate_pool(pool, kind, cfg.num_designs)
 
-        # Stage 2: pre-checks.
         filter_report = FilterPipeline().apply(pool)
         survivors = pool.surviving_prechecks()
-
-        # Stage 0 (reference): the original design's score.
-        original_score = self._protocol.score_original()
-
-        early_stopper: Optional[RewardTrajectoryClassifier] = None
-        fully_trained = 0
         rng = np.random.default_rng(cfg.seed)
-
         if survivors:
             order = rng.permutation(len(survivors))
             survivors = [survivors[i] for i in order]
@@ -189,34 +255,63 @@ class NadaPipeline:
             bootstrap_count = min(bootstrap_count, len(survivors))
             bootstrap, remainder = (survivors[:bootstrap_count],
                                     survivors[bootstrap_count:])
-            # Stage 3: bootstrap full training to build the labelled corpus.
-            # One flat (design, seed) fan-out keeps all workers busy.
-            self._protocol.score_designs(bootstrap)
-            fully_trained += len(bootstrap)
-            corpus = [d for d in bootstrap if d.reward_history and d.test_score is not None]
-            if len(corpus) >= 4:
-                early_stopper = RewardTrajectoryClassifier(cfg.early_stopping)
-                early_stopper.fit([d.reward_history for d in corpus],
-                                  [d.test_score for d in corpus])
-            # Stage 4: evaluate the rest with early stopping.
-            self._protocol.score_designs(remainder, early_stopping=early_stopper)
-            fully_trained += sum(design.status != DesignStatus.EARLY_STOPPED
-                                 for design in remainder)
         else:
-            self._protocol.score_designs(survivors)
-            fully_trained += len(survivors)
+            bootstrap, remainder = survivors, []
+        return _PipelineStages(pool=pool, filter_report=filter_report,
+                               bootstrap=bootstrap, remainder=remainder)
 
-        early_stopped = pool.with_status(DesignStatus.EARLY_STOPPED)
-        best = pool.best()
+    def _stage_one_jobs(self, stages: _PipelineStages) -> List[EvaluationJob]:
+        """Reference score + full bootstrap training, as one job batch."""
+        return ([self._protocol.job(None, None)]
+                + self._protocol.design_jobs(stages.bootstrap))
+
+    def _apply_stage_one(self, stages: _PipelineStages,
+                         results: Sequence[JobResult]) -> None:
+        cfg = self.config
+        stages.original_score = results[0].score
+        self._protocol.record_results(stages.bootstrap, results[1:])
+        stages.fully_trained += len(stages.bootstrap)
+        if cfg.use_early_stopping:
+            corpus = [d for d in stages.bootstrap
+                      if d.reward_history and d.test_score is not None]
+            if len(corpus) >= 4:
+                stages.early_stopper = RewardTrajectoryClassifier(cfg.early_stopping)
+                stages.early_stopper.fit([d.reward_history for d in corpus],
+                                         [d.test_score for d in corpus])
+
+    def _stage_two_jobs(self, stages: _PipelineStages) -> List[EvaluationJob]:
+        """Filtered evaluation of the remaining designs (may be empty)."""
+        return self._protocol.design_jobs(stages.remainder,
+                                          early_stopping=stages.early_stopper)
+
+    def _apply_stage_two(self, stages: _PipelineStages,
+                         results: Sequence[JobResult]) -> None:
+        self._protocol.record_results(stages.remainder, results)
+        stages.fully_trained += sum(design.status != DesignStatus.EARLY_STOPPED
+                                    for design in stages.remainder)
+
+    def _result(self, stages: _PipelineStages) -> NadaResult:
+        early_stopped = stages.pool.with_status(DesignStatus.EARLY_STOPPED)
+        best = stages.pool.best()
         return NadaResult(
-            pool=pool,
-            filter_report=filter_report,
-            original_score=original_score,
+            pool=stages.pool,
+            filter_report=stages.filter_report,
+            original_score=stages.original_score,
             best_design=best,
             best_score=best.test_score if best is not None else None,
             early_stopped_designs=early_stopped,
-            fully_trained=fully_trained,
+            fully_trained=stages.fully_trained,
         )
+
+    def run(self) -> NadaResult:
+        """Execute the full pipeline and return its result."""
+        stages = self._prepare()
+        self._apply_stage_one(stages,
+                              self._scheduler.run(self._stage_one_jobs(stages)))
+        stage_two = self._stage_two_jobs(stages)
+        if stage_two:
+            self._apply_stage_two(stages, self._scheduler.run(stage_two))
+        return self._result(stages)
 
     # ------------------------------------------------------------------ #
     def evaluate_combination(self, state_design: Optional[Design],
@@ -224,3 +319,117 @@ class NadaPipeline:
         """Score a specific (state, network) combination (Table 5 grid)."""
         score, _ = self._protocol.run(state_design, network_design)
         return score
+
+
+# --------------------------------------------------------------------------- #
+# Multi-environment campaigns
+# --------------------------------------------------------------------------- #
+@dataclass
+class CampaignResult:
+    """Per-environment results of one multi-environment campaign."""
+
+    results: Dict[str, NadaResult]
+
+    def __getitem__(self, environment: str) -> NadaResult:
+        return self.results[environment]
+
+    @property
+    def environments(self) -> List[str]:
+        return list(self.results)
+
+    def summary(self) -> str:
+        blocks = []
+        for name, result in self.results.items():
+            spec = ENVIRONMENTS.get(name)
+            title = spec.display_name if spec is not None else name
+            blocks.append(f"=== {title} ===\n{result.summary()}")
+        return "\n\n".join(blocks)
+
+
+class NadaCampaign:
+    """Runs the Nada pipeline across several environments on one scheduler.
+
+    This is the paper's headline experiment as a first-class scenario: the
+    full trace registry (fcc / starlink / 4g / 5g, or any subset) swept
+    through a single scheduled work-graph.  Every environment's stage-1 jobs
+    (reference score + bootstrap training) are submitted in one scheduler
+    pass, then each environment fits its early-stopping classifier, then all
+    stage-2 jobs (filtered evaluation) go out as a second pass — so workers
+    stay saturated across environments and the shared result store
+    deduplicates repeated work.  Scores are bit-identical to running each
+    environment's pipeline on its own (tested).
+    """
+
+    def __init__(self, pipelines: Mapping[str, NadaPipeline],
+                 scheduler: Optional[CampaignScheduler] = None) -> None:
+        if not pipelines:
+            raise ValueError("a campaign needs at least one environment")
+        self.pipelines = dict(pipelines)
+        first = next(iter(self.pipelines.values()))
+        self.scheduler = scheduler or first.scheduler
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def for_environments(cls, environments: Optional[Sequence[str]] = None,
+                         config: Optional[NadaConfig] = None,
+                         dataset_scale: float = 0.05, num_chunks: int = 24,
+                         seed: int = 0,
+                         schedule_scale: Optional[float] = None,
+                         store: Optional[ResultStore] = None) -> "NadaCampaign":
+        """Build one pipeline per named environment, all on one scheduler.
+
+        ``environments`` defaults to the full trace registry in Table 1
+        order.  With ``schedule_scale`` set, each environment trains under
+        its own published schedule scaled by that factor (satisfying the
+        registry's per-environment Table 1 settings); otherwise every
+        environment uses the config's schedule.
+        """
+        names = [name.lower() for name in (environments or list_environments())]
+        config = config if config is not None else NadaConfig()
+        if store is None and config.store_dir:
+            store = ResultStore(config.store_dir)
+        scheduler = CampaignScheduler(
+            parallel=ParallelConfig(max_workers=config.workers), store=store)
+        pipelines = {
+            name: NadaPipeline.for_environment(
+                name, config=config, dataset_scale=dataset_scale,
+                num_chunks=num_chunks, seed=seed,
+                schedule_scale=schedule_scale, scheduler=scheduler)
+            for name in names
+        }
+        return cls(pipelines, scheduler=scheduler)
+
+    # ------------------------------------------------------------------ #
+    def run(self) -> CampaignResult:
+        """Execute the campaign work-graph and return per-environment results."""
+        stages = {name: pipeline._prepare()
+                  for name, pipeline in self.pipelines.items()}
+
+        # Stage 1 across every environment, one scheduler pass.
+        batches = {name: self.pipelines[name]._stage_one_jobs(stages[name])
+                   for name in self.pipelines}
+        self._run_batches(batches,
+                          lambda name, results: self.pipelines[name]
+                          ._apply_stage_one(stages[name], results))
+
+        # Stage 2 (filtered evaluation) across every environment.
+        batches = {name: self.pipelines[name]._stage_two_jobs(stages[name])
+                   for name in self.pipelines}
+        self._run_batches(batches,
+                          lambda name, results: self.pipelines[name]
+                          ._apply_stage_two(stages[name], results))
+
+        return CampaignResult({name: self.pipelines[name]._result(stages[name])
+                               for name in self.pipelines})
+
+    def _run_batches(self, batches: Dict[str, List[EvaluationJob]],
+                     apply) -> None:
+        """Submit every environment's batch as one pass, then slice back."""
+        flat = [job for jobs in batches.values() for job in jobs]
+        if not flat:
+            return
+        results = self.scheduler.run(flat)
+        offset = 0
+        for name, jobs in batches.items():
+            apply(name, results[offset:offset + len(jobs)])
+            offset += len(jobs)

@@ -1,0 +1,261 @@
+"""Persistent, content-addressed store of design-evaluation results.
+
+Campaigns repeat work: the original design is re-scored for every comparison,
+sweeps are re-run after interruptions, and the same (design, environment,
+seed) training session is requested by several tables.  The
+:class:`ResultStore` makes completed work a property of the substrate instead
+of each caller — every finished :class:`~repro.core.evaluation.TrainingRun`
+is written to disk under a key derived from *everything that can change its
+outcome*, so a repeated campaign skips straight to cached results and an
+interrupted one resumes where it stopped.
+
+Key schema (one JSON file per record)::
+
+    key = sha256(context fingerprint | design fingerprint | seed)
+
+* **context fingerprint** — the evaluation context: environment label,
+  tensor dtype, the fast-inference toggle, the
+  :class:`~repro.core.evaluation.EvaluationConfig` (with its nested A2C and
+  simulator configs), the video (bitrate ladder, chunk sizes, chunk
+  duration) and the exact train/test trace arrays, and the QoE metric's
+  class and parameters.  Changing any of these invalidates the cache.
+  Engine toggles that are proven bit-identical by the equivalence tests
+  (``lockstep_training``, ``batched_evaluation``) are deliberately
+  *excluded*, so a campaign recorded under one execution engine can be
+  replayed under any other — as are ``num_seeds`` and
+  ``last_k_checkpoints``, which shape seed-list defaults and score
+  aggregation but never a stored per-seed run.
+* **design fingerprint** — sha256 over each component's kind and source code
+  (``original`` for the unmodified Pensieve component).
+* **seed** — the training seed.  The scheduler reads a job's cache
+  all-or-nothing (a seed batch trains in lockstep, so a partial batch
+  re-trains whole), but per-seed records let *overlapping* jobs share
+  work: a later job asking for a subset of an already-scored seed batch
+  hits record by record.
+
+Records live at ``<root>/<key[:2]>/<key>.json`` with a human-readable
+``meta`` block alongside the run payload.  Floats survive the JSON round
+trip bit-exactly (Python serializes them via shortest round-trip repr), so
+cached campaign scores are identical to freshly computed ones.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from typing import Any, Dict, Iterable, Optional, Tuple, TYPE_CHECKING
+
+import numpy as np
+
+from .. import nn
+from ..abr.networks import fast_inference_enabled
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from .design import Design
+    from .evaluation import DesignTrainer, EvaluationConfig, TrainingRun
+
+__all__ = [
+    "ResultStore",
+    "design_fingerprint",
+    "context_fingerprint",
+    "result_key",
+]
+
+#: Version prefix mixed into every key; bump when the record layout changes.
+_SCHEMA_VERSION = "v1"
+
+#: EvaluationConfig fields excluded from the key.  ``lockstep_training`` and
+#: ``batched_evaluation`` are pure execution-engine choices whose outputs are
+#: pinned bit-identical by the equivalence tests; ``num_seeds`` and
+#: ``last_k_checkpoints`` only shape seed-list defaults and score
+#: *aggregation*, never the per-seed training run a record stores — excluding
+#: them lets a shorter protocol over the same design hit the records a longer
+#: one wrote (the scheduler re-stamps ``last_k_checkpoints`` from the
+#: requesting config on load).
+_NON_RESULT_FIELDS = frozenset({"lockstep_training", "batched_evaluation",
+                                "num_seeds", "last_k_checkpoints"})
+
+
+def _sha256(parts: Iterable[bytes]) -> str:
+    digest = hashlib.sha256()
+    for part in parts:
+        digest.update(part)
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+def _config_tokens(config: Any) -> bytes:
+    """Stable byte encoding of a (possibly nested) config dataclass."""
+    if dataclasses.is_dataclass(config) and not isinstance(config, type):
+        config = {name: value
+                  for name, value in dataclasses.asdict(config).items()
+                  if name not in _NON_RESULT_FIELDS}
+    return json.dumps(config, sort_keys=True, default=str).encode("utf-8")
+
+
+def _array_digest(array: np.ndarray) -> bytes:
+    data = np.ascontiguousarray(np.asarray(array, dtype=np.float64))
+    return hashlib.sha256(data.tobytes()).digest()
+
+
+def design_fingerprint(state_design: Optional["Design"],
+                       network_design: Optional["Design"]) -> str:
+    """Content address of a (state, network) design pair.
+
+    ``None`` means the original Pensieve component; fingerprints depend only
+    on each design's kind and source code, never on pool ids or metadata, so
+    re-generated identical code hits the cache.
+    """
+    parts = []
+    for label, design in (("state", state_design), ("network", network_design)):
+        if design is None:
+            parts.append(f"{label}:original".encode("utf-8"))
+        else:
+            code = hashlib.sha256(design.code.encode("utf-8")).hexdigest()
+            parts.append(f"{label}:{design.kind.value}:{code}".encode("utf-8"))
+    return _sha256(parts)
+
+
+def context_fingerprint(trainer: "DesignTrainer", environment: str = "") -> str:
+    """Fingerprint of everything in the evaluation context that shapes results.
+
+    Covers the environment label, tensor dtype, evaluation/A2C/simulator
+    configs, the video and the full train/test trace arrays, and the QoE
+    metric — but not engine toggles proven bit-identical (see module docs).
+    """
+    video = trainer.video
+    qoe = trainer.qoe
+    parts = [
+        _SCHEMA_VERSION.encode("utf-8"),
+        environment.encode("utf-8"),
+        str(nn.get_default_dtype()).encode("utf-8"),
+        # The folded-inference path agrees with the graph forward only to
+        # float round-off (~1e-12), not bit-identity, so it is key material.
+        f"fast_inference={fast_inference_enabled()}".encode("utf-8"),
+        _config_tokens(trainer.config),
+        _config_tokens({
+            "bitrates_kbps": list(video.bitrates_kbps),
+            "chunk_duration_s": video.chunk_duration_s,
+        }),
+        _array_digest(video.chunk_sizes_bytes),
+        _config_tokens({
+            "qoe_class": type(qoe).__name__,
+            "bitrates_kbps": list(qoe.bitrates_kbps),
+            "rebuffer_penalty": qoe.rebuffer_penalty,
+            "smoothness_penalty": qoe.smoothness_penalty,
+        }),
+    ]
+    for trace_set in (trainer.train_traces, trainer.test_traces):
+        for trace in trace_set:
+            parts.append(_array_digest(trace.timestamps_s))
+            parts.append(_array_digest(trace.throughputs_mbps))
+    return _sha256(parts)
+
+
+def result_key(context: str, designs: str, seed: int) -> str:
+    """Compose the store key for one (context, design pair, seed) record."""
+    return _sha256([context.encode("utf-8"), designs.encode("utf-8"),
+                    str(int(seed)).encode("utf-8")])
+
+
+class ResultStore:
+    """JSON-on-disk store of per-seed :class:`TrainingRun` records.
+
+    The store is append-only from the scheduler's point of view: records are
+    written atomically (temp file + rename) and never mutated, so concurrent
+    campaigns sharing one store directory cannot corrupt each other.
+    """
+
+    def __init__(self, root: str) -> None:
+        self.root = str(root)
+        os.makedirs(self.root, exist_ok=True)
+        #: Lookup statistics since construction (for reports and tests).
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------ #
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], f"{key}.json")
+
+    def __contains__(self, key: str) -> bool:
+        return os.path.exists(self._path(key))
+
+    def __len__(self) -> int:
+        count = 0
+        for _, _, files in os.walk(self.root):
+            count += sum(name.endswith(".json") for name in files)
+        return count
+
+    # ------------------------------------------------------------------ #
+    def get_run(self, key: str) -> Optional["TrainingRun"]:
+        """Load one cached run, counting the lookup as a hit or miss."""
+        run = self.peek_run(key)
+        if run is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return run
+
+    def peek_run(self, key: str) -> Optional["TrainingRun"]:
+        """Load one cached run without touching the hit/miss counters.
+
+        The scheduler probes a job's whole seed batch all-or-nothing; it
+        peeks each record and commits the counters only once the batch
+        outcome is known, so partially present batches that retrain anyway
+        never inflate the hit statistics.
+        """
+        from .evaluation import TrainingRun
+
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                record = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+        payload = record["run"]
+        return TrainingRun(
+            seed=int(payload["seed"]),
+            reward_history=[float(r) for r in payload["reward_history"]],
+            checkpoint_epochs=[int(e) for e in payload["checkpoint_epochs"]],
+            checkpoint_scores=[float(s) for s in payload["checkpoint_scores"]],
+            early_stopped=bool(payload["early_stopped"]),
+            last_k_checkpoints=payload["last_k_checkpoints"],
+        )
+
+    def put_run(self, key: str, run: "TrainingRun",
+                meta: Optional[Dict[str, Any]] = None) -> None:
+        """Persist one run atomically under ``key``."""
+        record = {
+            "schema": _SCHEMA_VERSION,
+            "meta": meta or {},
+            "run": {
+                "seed": run.seed,
+                "reward_history": list(run.reward_history),
+                "checkpoint_epochs": list(run.checkpoint_epochs),
+                "checkpoint_scores": list(run.checkpoint_scores),
+                "early_stopped": run.early_stopped,
+                "last_k_checkpoints": run.last_k_checkpoints,
+            },
+        }
+        path = self._path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        handle = tempfile.NamedTemporaryFile(
+            "w", dir=os.path.dirname(path), suffix=".tmp",
+            delete=False, encoding="utf-8")
+        try:
+            with handle:
+                json.dump(record, handle)
+            os.replace(handle.name, path)
+        except OSError:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------ #
+    def statistics(self) -> Dict[str, int]:
+        return {"records": len(self), "hits": self.hits, "misses": self.misses}

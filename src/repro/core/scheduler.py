@@ -1,0 +1,313 @@
+"""The campaign scheduler: one work-graph execution layer for all evaluation.
+
+The paper's headline experiment is a *campaign*: pools of LLM-generated
+designs scored across several network environments under the §3.1 protocol.
+This module is the single substrate every campaign runs on.  Its unit of
+work is a **job** — (state design, network design, environment, seed batch)
+— and it composes the repository's two execution engines instead of choosing
+one:
+
+* **inside** a job, all seeds train in lockstep through
+  :class:`~repro.rl.a2c.MultiSeedA2CTrainer` (stacked per-seed weights, one
+  batched fused update per round) whenever the design supports it;
+* **across** jobs, work fans out over the
+  :func:`~repro.core.parallel.parallel_map` process pool with an
+  order-preserving merge.
+
+Because each job runs exactly the code it would run serially (the worker
+only changes *where* the computation happens), campaign scores are
+bit-identical for serial, 1-worker and N-worker executions — the
+equivalence suite in ``tests/test_scheduler.py`` pins this.
+
+When a :class:`~repro.core.results.ResultStore` is attached, every job's
+per-seed :class:`~repro.core.evaluation.TrainingRun` records are looked up
+before execution and persisted after it, so repeated campaigns skip
+already-scored work and interrupted campaigns resume.  Jobs carrying an
+early-stopping classifier bypass the store: their outcome depends on the
+fitted classifier state, which is not part of the key schema.
+
+Call sites (:class:`~repro.core.evaluation.TestScoreProtocol`,
+:class:`~repro.core.pipeline.NadaPipeline`, the ``analysis.experiments``
+sweeps and the CLI) never touch the process pool directly — they build jobs
+and hand them to a scheduler.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass, replace
+from typing import (Any, Callable, Dict, List, Optional, Sequence, Tuple,
+                    TYPE_CHECKING, TypeVar)
+
+import numpy as np
+
+from .. import nn
+from ..abr.networks import fast_inference_enabled, set_fast_inference
+from .parallel import ParallelConfig, parallel_map
+from .results import ResultStore, context_fingerprint, design_fingerprint, result_key
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only imports (cycle guard)
+    from .design import Design
+    from .early_stopping import RewardTrajectoryClassifier
+    from .evaluation import DesignTrainer, TrainingRun
+
+__all__ = [
+    "EvaluationJob",
+    "JobResult",
+    "CampaignScheduler",
+    "protocol_score",
+]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+@dataclass(frozen=True)
+class EvaluationJob:
+    """One unit of campaign work: a design pair × environment × seed batch.
+
+    The job owns everything needed to train its seed batch to completion in
+    an arbitrary worker process: the (picklable)
+    :class:`~repro.core.evaluation.DesignTrainer` carries the environment
+    (video, trace splits, QoE metric, schedule); the designs carry the code
+    under test; ``seeds`` is the batch trained in lockstep inside the worker.
+    """
+
+    trainer: "DesignTrainer"
+    state_design: Optional["Design"]
+    network_design: Optional["Design"]
+    seeds: Tuple[int, ...]
+    early_stopping: Optional["RewardTrajectoryClassifier"] = None
+    #: Human-readable environment label recorded in the result store.
+    environment: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.seeds:
+            raise ValueError("a job needs at least one seed")
+
+
+@dataclass
+class JobResult:
+    """Outcome of one job: per-seed runs plus the protocol aggregate."""
+
+    job: EvaluationJob
+    runs: List["TrainingRun"]
+    #: Median over seeds of last-k checkpoint means (the §3.1 test score).
+    score: float
+    #: True when every seed was served from the result store.
+    cached: bool = False
+
+
+def protocol_score(runs: Sequence["TrainingRun"], last_k: int) -> float:
+    """The §3.1 aggregation: median over seeds of last-``k`` checkpoint means.
+
+    Early-stopped seeds are excluded unless every seed stopped (in which
+    case the truncated runs are all the evidence there is).
+    """
+    completed = [run for run in runs if not run.early_stopped]
+    scoring_runs = completed if completed else list(runs)
+    per_seed = [run.smoothed_score(last_k) for run in scoring_runs]
+    finite = [score for score in per_seed if np.isfinite(score)]
+    return float(np.median(finite)) if finite else float("-inf")
+
+
+# --------------------------------------------------------------------------- #
+# Worker payloads.  Spawned workers start from a fresh interpreter, so the
+# process-global tensor dtype and fast-inference toggle ride along with every
+# task and are re-applied before any computation.
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class _JobTask:
+    job: EvaluationJob
+    dtype: str
+    fast_inference: bool
+
+
+def _run_job_task(task: _JobTask) -> List["TrainingRun"]:
+    """Worker entry point: train one job's seed batch, in lockstep if possible."""
+    nn.set_default_dtype(task.dtype)
+    set_fast_inference(task.fast_inference)
+    job = task.job
+    return job.trainer.run_seeds(job.state_design, job.network_design,
+                                 list(job.seeds),
+                                 early_stopping=job.early_stopping)
+
+
+@dataclass(frozen=True)
+class _MapTask:
+    fn: Callable[[Any], Any]
+    item: Any
+    dtype: str
+    fast_inference: bool
+
+
+def _run_map_task(task: _MapTask) -> Any:
+    nn.set_default_dtype(task.dtype)
+    set_fast_inference(task.fast_inference)
+    return task.fn(task.item)
+
+
+class CampaignScheduler:
+    """Executes evaluation jobs over the worker pool, through the store.
+
+    The scheduler is deliberately stateless between :meth:`run` calls apart
+    from the attached store and memoized context fingerprints — a campaign
+    driver expresses its stage structure by calling :meth:`run` once per
+    stage with every ready job, and the scheduler takes care of placement,
+    caching and the order-preserving merge.
+    """
+
+    def __init__(self, parallel: Optional[ParallelConfig] = None,
+                 store: Optional[ResultStore] = None) -> None:
+        self.parallel = parallel or ParallelConfig()
+        self.store = store
+        #: Context fingerprints are O(dataset) to compute, so they are
+        #: memoized per live trainer instance (trainers are reused across
+        #: jobs).  Weak keys mean a recycled object address can never serve
+        #: another trainer's fingerprint, and the per-trainer entries are
+        #: keyed by the inputs that can change between runs (dtype,
+        #: environment label) so toggling either recomputes.
+        self._contexts: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+    # ------------------------------------------------------------------ #
+    def _context(self, job: EvaluationJob) -> str:
+        variant = (str(nn.get_default_dtype()), fast_inference_enabled(),
+                   job.environment)
+        per_trainer = self._contexts.setdefault(job.trainer, {})
+        fingerprint = per_trainer.get(variant)
+        if fingerprint is None:
+            fingerprint = context_fingerprint(job.trainer, job.environment)
+            per_trainer[variant] = fingerprint
+        return fingerprint
+
+    def _job_keys(self, job: EvaluationJob) -> Optional[List[str]]:
+        """Per-seed store keys, or None when the job is not cacheable."""
+        if self.store is None or job.early_stopping is not None:
+            return None
+        context = self._context(job)
+        designs = design_fingerprint(job.state_design, job.network_design)
+        return [result_key(context, designs, seed) for seed in job.seeds]
+
+    def _lookup(self, job: EvaluationJob,
+                keys: Optional[List[str]]) -> Optional[List["TrainingRun"]]:
+        """All-or-nothing cache read: a job resumes only as a whole batch.
+
+        Counters are committed once the batch outcome is known — records
+        probed before a miss aborts the batch are not counted as hits,
+        since their contents are discarded and retrained.  Loaded runs are
+        re-stamped with the requesting config's ``last_k_checkpoints``
+        (excluded from the key because it only shapes aggregation), making
+        a cached run indistinguishable from a freshly trained one.
+        """
+        if keys is None:
+            return None
+        runs = []
+        for key in keys:
+            run = self.store.peek_run(key)
+            if run is None:
+                self.store.misses += 1
+                return None
+            runs.append(run)
+        self.store.hits += len(runs)
+        for run in runs:
+            run.last_k_checkpoints = job.trainer.config.last_k_checkpoints
+        return runs
+
+    def _persist(self, job: EvaluationJob, keys: Optional[List[str]],
+                 runs: Sequence["TrainingRun"]) -> None:
+        if keys is None:
+            return
+        meta = {
+            "environment": job.environment,
+            "state_design": job.state_design.design_id
+            if job.state_design is not None else "original",
+            "network_design": job.network_design.design_id
+            if job.network_design is not None else "original",
+        }
+        for key, run in zip(keys, runs):
+            self.store.put_run(key, run, meta={**meta, "seed": run.seed})
+
+    @staticmethod
+    def _splits_without_cost(job: EvaluationJob) -> bool:
+        """True when per-seed fan-out cannot lose lockstep batching.
+
+        Jobs whose training falls to the per-seed path regardless — an
+        early-stopping classifier attached, lockstep disabled in the
+        config, or a generated network architecture (only stacked
+        ``PensieveNetwork`` weights support the fused lockstep engine, per
+        ``PensieveSeedStack.compatible``) — gain worker-level seed
+        parallelism by splitting into singleton seed batches; records are
+        identical either way because the per-seed path is exactly what
+        runs inside the whole batch.  Lockstep-eligible jobs stay whole so
+        the stacked engine applies inside their worker.
+        """
+        if len(job.seeds) <= 1:
+            return False
+        return (job.early_stopping is not None
+                or not job.trainer.config.lockstep_training
+                or job.network_design is not None)
+
+    def run(self, jobs: Sequence[EvaluationJob]) -> List[JobResult]:
+        """Execute a batch of jobs; results come back in submission order.
+
+        Cached jobs are answered from the store without touching the pool;
+        the remainder fan out across worker processes, each training its
+        seed batch in lockstep inside the worker.  Jobs that would train
+        per-seed anyway additionally split into per-seed work items under
+        fan-out, so seeds of one design can occupy several workers when
+        lockstep has nothing to lose.  Scores are bit-identical to running
+        every job serially in submission order.
+        """
+        jobs = list(jobs)
+        results: List[Optional[JobResult]] = [None] * len(jobs)
+        pending: List[Tuple[int, EvaluationJob, Optional[List[str]]]] = []
+        for index, job in enumerate(jobs):
+            keys = self._job_keys(job)
+            cached_runs = self._lookup(job, keys)
+            if cached_runs is not None:
+                score = protocol_score(cached_runs,
+                                       job.trainer.config.last_k_checkpoints)
+                results[index] = JobResult(job=job, runs=cached_runs,
+                                           score=score, cached=True)
+            else:
+                pending.append((index, job, keys))
+
+        if pending:
+            dtype = str(nn.get_default_dtype())
+            fast = fast_inference_enabled()
+            split = self.parallel.resolved_workers() > 1
+            subjobs: List[EvaluationJob] = []
+            spans: List[int] = []
+            for _, job, _ in pending:
+                parts = ([replace(job, seeds=(seed,)) for seed in job.seeds]
+                         if split and self._splits_without_cost(job)
+                         else [job])
+                subjobs.extend(parts)
+                spans.append(len(parts))
+            tasks = [_JobTask(sub, dtype, fast) for sub in subjobs]
+            flat = parallel_map(_run_job_task, tasks, self.parallel)
+            cursor = 0
+            for (index, job, keys), span in zip(pending, spans):
+                runs = [run for chunk in flat[cursor:cursor + span]
+                        for run in chunk]
+                cursor += span
+                self._persist(job, keys, runs)
+                score = protocol_score(runs,
+                                       job.trainer.config.last_k_checkpoints)
+                results[index] = JobResult(job=job, runs=runs, score=score)
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------ #
+    def map_items(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        """Order-preserving fan-out for auxiliary (non-protocol) workloads.
+
+        Used by drivers whose work items do not produce
+        :class:`TrainingRun` batches (e.g. the early-stopping corpus
+        builder).  The scheduler still owns execution — worker processes
+        inherit the tensor dtype and fast-inference toggle exactly as
+        evaluation jobs do — but results bypass the store.
+        """
+        dtype = str(nn.get_default_dtype())
+        fast = fast_inference_enabled()
+        tasks = [_MapTask(fn, item, dtype, fast) for item in items]
+        return parallel_map(_run_map_task, tasks, self.parallel)

@@ -31,6 +31,21 @@ class EnvironmentSpec:
     train_epochs: int
     test_interval: int
 
+    def evaluation_schedule(self, scale: float = 1.0) -> Tuple[int, int]:
+        """The Table 1 training schedule, optionally scaled down.
+
+        Returns ``(train_epochs, checkpoint_interval)`` with both values
+        scaled by ``scale`` and floored at 1, preserving the published
+        per-environment ratios (Starlink converges in a tenth of the FCC
+        budget, for example).  This is the default schedule consumers such
+        as :meth:`~repro.core.pipeline.NadaPipeline.for_environment` and the
+        CLI apply when no explicit epochs/interval override is given.
+        """
+        if scale <= 0:
+            raise ValueError("schedule scale must be positive")
+        return (max(1, int(round(self.train_epochs * scale))),
+                max(1, int(round(self.test_interval * scale))))
+
 
 ENVIRONMENTS: Dict[str, EnvironmentSpec] = {
     "fcc": EnvironmentSpec("fcc", "FCC", fcc_dataset, "standard", 40_000, 500),
