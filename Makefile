@@ -1,6 +1,9 @@
 # Convenience targets for the Nada reproduction.
 #
-#   make smoke          - quick regression gate: fast tests + a 1-worker bench run
+#   make smoke          - quick regression gate: fast tests + the bench-regression
+#                         gate (engine A/B and the compiled-generated-design
+#                         check, compared against the committed BENCH_*.json
+#                         baselines with a tolerance)
 #   make test           - the full tier-1 suite (tests + benchmark regenerations)
 #   make bench          - the evaluation-engine benchmark, refreshing BENCH_baseline.json
 #   make campaign-smoke - multi-environment examples + CLI campaign at tiny scale
@@ -8,17 +11,20 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: smoke test bench campaign-smoke
+.PHONY: smoke test bench bench-generated campaign-smoke
 
 smoke:
 	$(PYTHON) -m pytest -q -m "not slow"
-	$(PYTHON) benchmarks/bench_scales.py --workers 1
+	$(PYTHON) benchmarks/bench_regression.py
 
 test:
 	$(PYTHON) -m pytest -x -q
 
 bench:
 	$(PYTHON) benchmarks/bench_scales.py --json benchmarks/BENCH_baseline.json
+
+bench-generated:
+	$(PYTHON) benchmarks/bench_scales.py --mode generated --json benchmarks/BENCH_generated.json
 
 # Tiny end-to-end pass over the multi-environment scenarios: both examples at
 # smoke scale, then a two-environment CLI campaign exercising the scheduler

@@ -1,0 +1,123 @@
+"""Bench-regression gate: compare fresh benchmark runs against baselines.
+
+``make smoke`` used to merely *run* the 1-worker benchmark; this script turns
+that into a regression check.  It re-runs two cheap benchmark workloads and
+compares them against the committed ``benchmarks/BENCH_*.json`` reports:
+
+* **engine** — the seed-vs-optimized A/B behind ``BENCH_baseline.json``;
+* **generated** — the compiled-generated-design check behind
+  ``BENCH_generated.json`` (autograd-graph fallback vs compiled lockstep on
+  non-Pensieve architectures), at a reduced scale so the gate stays fast.
+
+Two properties are enforced per workload:
+
+* **correctness** — the fresh ``max_score_delta`` must stay within
+  ``--max-score-delta`` (the fast engines may never change results);
+* **performance** — the fresh speedup must reach at least
+  ``--min-speedup-fraction`` of the committed report's speedup.  Absolute
+  seconds are machine-dependent (committed reports come from a 1-CPU
+  container), so the gate compares speedup *ratios*, with generous slack for
+  noisy CI neighbours.
+
+Exit code 0 when every gate passes, 1 otherwise.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_regression.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from dataclasses import replace
+from typing import List, Optional
+
+from bench_scales import (DEFAULT_BENCH_SCALE, run_benchmark,
+                          run_generated_benchmark)
+
+BASELINES = {
+    "engine": "BENCH_baseline.json",
+    "generated": "BENCH_generated.json",
+}
+
+#: Reduced scale for the smoke-gate runs (the committed reports use the full
+#: DEFAULT_BENCH_SCALE; the gate only needs enough work for a stable ratio).
+SMOKE_SCALE = replace(DEFAULT_BENCH_SCALE, train_epochs=16,
+                      checkpoint_interval=8, last_k_checkpoints=2,
+                      num_seeds=2, dataset_scale=0.03, num_chunks=12)
+
+
+def _load_baseline(directory: str, name: str) -> Optional[dict]:
+    path = os.path.join(directory, BASELINES[name])
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        return None
+
+
+def _check(name: str, fresh: dict, baseline: Optional[dict],
+           min_fraction: float, max_delta: float,
+           failures: List[str]) -> None:
+    delta = float(fresh["max_score_delta"])
+    speedup = float(fresh["speedup"])
+    print(f"{name:9s}: fresh speedup {speedup:.2f}x, "
+          f"score delta {delta:.2e}", end="")
+    if delta > max_delta:
+        failures.append(f"{name}: score delta {delta:.2e} exceeds "
+                        f"{max_delta:.2e} — the fast engines changed results")
+    if baseline is None:
+        print("  (no committed baseline; correctness gate only)")
+        return
+    committed = float(baseline["speedup"])
+    floor = committed * min_fraction
+    print(f"  (committed {committed:.2f}x, floor {floor:.2f}x)")
+    if speedup < floor:
+        failures.append(
+            f"{name}: fresh speedup {speedup:.2f}x fell below "
+            f"{min_fraction:.0%} of the committed {committed:.2f}x")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Regression gate comparing fresh benchmark runs against "
+                    "the committed BENCH_*.json baselines")
+    parser.add_argument("--baseline-dir",
+                        default=os.path.dirname(os.path.abspath(__file__)),
+                        help="directory holding the committed BENCH_*.json")
+    parser.add_argument("--min-speedup-fraction", type=float, default=0.35,
+                        help="fresh speedup must reach this fraction of the "
+                             "committed speedup (ratios, so machine-"
+                             "independent; default leaves room for noisy CI)")
+    parser.add_argument("--max-score-delta", type=float, default=1e-9,
+                        help="maximum tolerated |score(reference) - "
+                             "score(fast engine)| in the fresh runs")
+    parser.add_argument("--skip", nargs="*", choices=sorted(BASELINES),
+                        default=[], help="workloads to skip")
+    args = parser.parse_args(argv)
+
+    failures: List[str] = []
+    if "engine" not in args.skip:
+        fresh = run_benchmark(scale=SMOKE_SCALE, workers=1, dtype="float32")
+        _check("engine", fresh, _load_baseline(args.baseline_dir, "engine"),
+               args.min_speedup_fraction, args.max_score_delta, failures)
+    if "generated" not in args.skip:
+        fresh = run_generated_benchmark(scale=SMOKE_SCALE, dtype="float32",
+                                        num_seeds=2)
+        _check("generated", fresh,
+               _load_baseline(args.baseline_dir, "generated"),
+               args.min_speedup_fraction, args.max_score_delta, failures)
+
+    if failures:
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        return 1
+    print("bench regression gate: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -265,7 +265,10 @@ def run_protocol_workload(scale: ExperimentScale,
     protocol = TestScoreProtocol(trainer,
                                  parallel=ParallelConfig(max_workers=workers))
     designs = designs or []
-    jobs = [(None, None)] + [(design, None) for design in designs]
+    # Route each design into the slot its kind dictates (state designs pair
+    # with the original network and vice versa).
+    jobs = [(None, None)] + [TestScoreProtocol._design_job(design)
+                             for design in designs]
     start = time.perf_counter()
     results = protocol.run_many(jobs)
     elapsed = time.perf_counter() - start
@@ -360,6 +363,98 @@ def run_multi_seed_benchmark(scale: Optional[ExperimentScale] = None,
         "lockstep_mode": {"seconds": round(lockstep_seconds, 3),
                           "scores": lockstep_scores},
         "speedup": round(per_seed_seconds / lockstep_seconds, 2),
+        "max_score_delta": score_delta,
+        "cpu_count": os.cpu_count(),
+    }
+
+
+#: Generated-architecture specs scored by ``--mode generated``: one per
+#: design-space encoder family that previously fell back to per-seed
+#: autograd-graph training (everything except ``pensieve_conv``).
+GENERATED_BENCH_SPECS = (
+    {"encoder": "flatten", "hidden_size": 128, "activation": "relu"},
+    {"encoder": "conv", "hidden_size": 64, "activation": "leaky_relu"},
+    {"encoder": "gru", "hidden_size": 64, "activation": "relu"},
+    {"encoder": "lstm", "hidden_size": 64, "activation": "relu",
+     "share_trunk": True},
+)
+
+
+def _generated_designs(count: int):
+    """Deterministic generated NETWORK designs across encoder families."""
+    from repro.core.design import Design
+    from repro.llm.design_space import NetworkDesignSpec, NetworkDesignSpace
+
+    space = NetworkDesignSpace()
+    designs = []
+    for index, kwargs in enumerate(GENERATED_BENCH_SPECS[:count]):
+        spec = NetworkDesignSpec(**kwargs)
+        designs.append(Design(design_id=f"gen-{kwargs['encoder']}-{index}",
+                              kind=DesignKind.NETWORK,
+                              code=space.render(spec)))
+    return designs
+
+
+def run_generated_benchmark(scale: Optional[ExperimentScale] = None,
+                            dtype: str = "float32",
+                            num_seeds: int = 3,
+                            num_designs: int = len(GENERATED_BENCH_SPECS),
+                            workers: int = 1) -> dict:
+    """A/B the graph fallback against compiled lockstep on generated designs.
+
+    The workload scores LLM-style generated *network* designs (non-Pensieve
+    encoders: dense, conv, gru, lstm) under the §3.1 protocol twice:
+
+    * **graph mode** — the pre-compiler path: ``set_compilation(False)``, so
+      every generated design trains per seed through the autograd graph
+      (exactly what the repository executed before the kernel compiler);
+    * **compiled mode** — the kernel compiler lowers each design onto the
+      fused engines and the whole seed batch trains in lockstep.
+
+    Both modes keep exact numerics, so trace choices and actions are
+    identical and ``max_score_delta`` is expected to be exactly 0.0.
+    """
+    from repro import nn
+
+    scale = replace(scale or DEFAULT_BENCH_SCALE, num_seeds=num_seeds)
+    designs = _generated_designs(num_designs)
+    previous_dtype = nn.set_default_dtype(dtype)
+    try:
+        previous_compile = nn.set_compilation(False)
+        try:
+            graph_seconds, graph_scores = run_protocol_workload(
+                scale, download_engine="prefix_sum", batched_evaluation=True,
+                workers=workers, designs=designs, lockstep=True)
+        finally:
+            nn.set_compilation(previous_compile)
+        compiled_seconds, compiled_scores = run_protocol_workload(
+            scale, download_engine="prefix_sum", batched_evaluation=True,
+            workers=workers, designs=designs, lockstep=True)
+    finally:
+        nn.set_default_dtype(previous_dtype)
+
+    score_delta = max(abs(graph_scores[k] - compiled_scores[k])
+                      for k in graph_scores)
+    return {
+        "workload": {
+            "environment": "fcc",
+            "train_epochs": scale.train_epochs,
+            "checkpoint_interval": scale.checkpoint_interval,
+            "num_seeds": scale.num_seeds,
+            "num_chunks": scale.num_chunks,
+            "dataset_scale": scale.dataset_scale,
+            "designs_scored": num_designs + 1,
+            "encoders": [spec["encoder"]
+                         for spec in GENERATED_BENCH_SPECS[:num_designs]],
+            "dtype": dtype,
+            "workers": workers,
+            "numerics": nn.get_numerics(),
+        },
+        "graph_mode": {"seconds": round(graph_seconds, 3),
+                       "scores": graph_scores},
+        "compiled_mode": {"seconds": round(compiled_seconds, 3),
+                          "scores": compiled_scores},
+        "speedup": round(graph_seconds / compiled_seconds, 2),
         "max_score_delta": score_delta,
         "cpu_count": os.cpu_count(),
     }
@@ -496,14 +591,18 @@ def _write_json(report: dict, path: str) -> None:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         description="End-to-end benchmark of the design-evaluation engine")
-    parser.add_argument("--mode", choices=["engine", "multi-seed", "campaign"],
+    parser.add_argument("--mode",
+                        choices=["engine", "multi-seed", "campaign",
+                                 "generated"],
                         default="engine",
                         help="engine: seed implementation vs optimized engine "
                              "(default); multi-seed: per-seed optimized "
                              "training vs the lockstep multi-seed trainer; "
                              "campaign: flat per-seed fan-out vs the campaign "
                              "scheduler (lockstep jobs + result-store replay) "
-                             "on a multi-environment workload")
+                             "on a multi-environment workload; generated: "
+                             "autograd-graph fallback vs compiled lockstep "
+                             "on a generated-architecture campaign")
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="write the report as JSON (e.g. benchmarks/BENCH_baseline.json)")
     parser.add_argument("--workers", type=int, default=1,
@@ -517,6 +616,31 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "and --mode campaign (the paper's protocol "
                              "uses 5)")
     args = parser.parse_args(argv)
+
+    if args.mode == "generated":
+        report = run_generated_benchmark(
+            dtype=args.dtype, num_seeds=args.num_seeds,
+            # --designs defaults to 0 (engine-isolation for the other
+            # modes); generated mode defaults to the full spec family.
+            num_designs=(args.designs if args.designs > 0
+                         else len(GENERATED_BENCH_SPECS)),
+            workers=args.workers)
+        workload = report["workload"]
+        print(f"workload      : original + {workload['designs_scored'] - 1} "
+              f"generated designs ({', '.join(workload['encoders'])}), "
+              f"{workload['num_seeds']} seeds x "
+              f"{workload['train_epochs']} epochs (fcc, {workload['dtype']}, "
+              f"workers={workload['workers']})")
+        print(f"graph mode    : {report['graph_mode']['seconds']:8.3f} s  "
+              "(--no-compile: per-seed autograd-graph training)")
+        print(f"compiled mode : {report['compiled_mode']['seconds']:8.3f} s  "
+              "(fused kernels, multi-seed lockstep)")
+        print(f"speedup       : {report['speedup']:8.2f} x")
+        print(f"score delta   : {report['max_score_delta']:8.2e} "
+              "(max |graph - compiled|)")
+        if args.json:
+            _write_json(report, args.json)
+        return 0
 
     if args.mode == "campaign":
         report = run_campaign_benchmark(dtype=args.dtype,

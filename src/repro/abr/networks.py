@@ -34,6 +34,8 @@ __all__ = [
     "NetworkBuilder",
     "set_fast_inference",
     "fast_inference_enabled",
+    "build_seed_stack",
+    "seed_stack_compatible",
 ]
 
 #: Name the generated code block must define.
@@ -483,7 +485,16 @@ class PensieveNetwork(ActorCriticNetwork):
             span = len(self.conv_branches) * filters * positions
             d_conv = d_pre_merged[:, :span].reshape(
                 -1, len(self.conv_branches), filters, positions)
-            d_weights = np.einsum("brfp,brpk->rfk", d_conv, windows)
+            if nn.get_numerics() == "fast":
+                # Re-blocked GEMM contraction: (batch, positions) folded into
+                # one axis — same sum, different summation order (gated by
+                # the statistical-equivalence tests, not the bitwise suite).
+                branches = len(self.conv_branches)
+                d_weights = np.matmul(
+                    d_conv.transpose(1, 2, 0, 3).reshape(branches, filters, -1),
+                    windows.transpose(1, 0, 2, 3).reshape(branches, -1, kernel))
+            else:
+                d_weights = np.einsum("brfp,brpk->rfk", d_conv, windows)
             d_biases = d_conv.sum(axis=(0, 3))
             for index, branch in enumerate(self.conv_branches):
                 branch.weight._accumulate(
@@ -550,13 +561,16 @@ class _SeedActorForward:
         return self.logits
 
 
-class PensieveSeedStack:
+class PensieveSeedStack(nn.SeedParameterStack):
     """Stacked-weight view of several identically-shaped Pensieve networks.
 
     The multi-seed lockstep trainer trains all ``num_seeds`` sessions of one
     design simultaneously; this class provides the batched kernels it needs by
     stacking each parameter of the per-seed networks into one
-    ``(seeds, *shape)`` array.  Three invariants make the stack transparent:
+    ``(seeds, *shape)`` array (the generic stacking/rebinding machinery lives
+    in :class:`~repro.nn.compile.SeedParameterStack`, which the compiled
+    stack for generated architectures shares).  Three invariants make the
+    stack transparent:
 
     * **The per-seed networks stay live.**  Each network's ``Parameter.data``
       is rebound to a view of its slice of the stacked array, so updating the
@@ -582,37 +596,9 @@ class PensieveSeedStack:
             raise TypeError("PensieveSeedStack requires PensieveNetwork instances")
         if not all(net.supports_fused_update() for net in networks):
             raise ValueError("every stacked network must support fused updates")
-        self.networks = list(networks)
-        self.num_seeds = len(self.networks)
+        super().__init__(networks)
         net0 = self.networks[0]
-        self.state_shape = net0.state_shape
-        self.num_actions = net0.num_actions
-
-        per_net = [net.parameters() for net in self.networks]
-        if any(len(params) != len(per_net[0]) for params in per_net):
-            raise ValueError("stacked networks have mismatched parameter lists")
-        self._per_net_params = per_net
-        self._params: list = []
-        by_id = {}
-        for position, reference in enumerate(per_net[0]):
-            shapes = {params[position].data.shape for params in per_net}
-            dtypes = {params[position].data.dtype for params in per_net}
-            if len(shapes) != 1 or len(dtypes) != 1:
-                raise ValueError(
-                    f"parameter {position} differs across seeds: "
-                    f"shapes {shapes}, dtypes {dtypes}")
-            stacked = nn.Parameter(np.empty(0), name=f"stack.{reference.name}")
-            # Assign directly: Parameter's constructor coerces to the current
-            # default dtype, but the stack must keep the dtype the networks
-            # were built with.
-            stacked.data = np.stack([params[position].data
-                                     for params in per_net])
-            for seed, params in enumerate(per_net):
-                params[position].data = stacked.data[seed]
-            self._params.append(stacked)
-            by_id[id(reference)] = stacked
-        self._stacked_of = by_id
-
+        by_id = self._stacked_of
         self._w_actor_hidden = by_id[id(net0.actor_hidden.weight)]
         self._b_actor_hidden = by_id[id(net0.actor_hidden.bias)]
         self._w_actor_out = by_id[id(net0.actor_out.weight)]
@@ -621,15 +607,7 @@ class PensieveSeedStack:
         self._b_critic_hidden = by_id[id(net0.critic_hidden.bias)]
         self._w_critic_out = by_id[id(net0.critic_out.weight)]
         self._b_critic_out = by_id[id(net0.critic_out.bias)]
-
-        self._version = 0
         self._fold_cache = None
-        #: Persistent per-parameter gradient buffers (allocated on the first
-        #: backward when the gradient dtype matches the weight dtype): the
-        #: stacked backward writes GEMM/einsum outputs straight into them
-        #: with ``out=``, avoiding a fresh multi-megabyte allocation pass per
-        #: update.  Values are identical to freshly allocated gradients.
-        self._grad_buffers = None
 
     # ------------------------------------------------------------------ #
     @staticmethod
@@ -640,43 +618,7 @@ class PensieveSeedStack:
             return False
         if not all(net.supports_fused_update() for net in networks):
             return False
-        net0 = networks[0]
-        if any(net.state_shape != net0.state_shape
-               or net.num_actions != net0.num_actions for net in networks):
-            return False
-        shapes0 = [p.data.shape for p in net0.parameters()]
-        dtypes0 = [p.data.dtype for p in net0.parameters()]
-        for net in networks[1:]:
-            params = net.parameters()
-            if ([p.data.shape for p in params] != shapes0
-                    or [p.data.dtype for p in params] != dtypes0):
-                return False
-        return True
-
-    def parameters(self) -> list:
-        """Stacked parameters, ordered like ``networks[0].parameters()``.
-
-        The order matters: per-seed gradient-norm clipping accumulates
-        squared norms across parameters in this exact order, mirroring the
-        serial ``clip_grad_norm`` call on ``network.parameters()``.
-        """
-        return list(self._params)
-
-    def stacked_of(self, parameter) -> nn.Parameter:
-        """The stacked parameter holding all seeds of ``parameter``."""
-        return self._stacked_of[id(parameter)]
-
-    def mark_updated(self) -> None:
-        """Invalidate fold caches after the stacked optimizer stepped.
-
-        The optimizer bumps the *stacked* parameters' versions; the per-seed
-        networks' parameters are views whose version counters the optimizer
-        never sees, so the seed-level fold caches are bumped here.
-        """
-        self._version += 1
-        for params in self._per_net_params:
-            for p in params:
-                p.version = getattr(p, "version", 0) + 1
+        return nn.SeedParameterStack._stackable(list(networks))
 
     # ------------------------------------------------------------------ #
     def _stacked_fold(self):
@@ -689,10 +631,6 @@ class PensieveSeedStack:
         bias = np.stack([tower[1] for tower in towers])
         self._fold_cache = (self._version, folded, bias)
         return folded, bias
-
-    @property
-    def dtype(self) -> np.dtype:
-        return self._w_actor_out.data.dtype
 
     def policy_probs(self, states: np.ndarray) -> np.ndarray:
         """Per-seed action probabilities for ``(seeds, batch, *state_shape)``.
@@ -760,27 +698,6 @@ class PensieveSeedStack:
         cache = (states, flat, pre_merged, merged, pre_actor, hidden_actor,
                  pre_critic, hidden_critic)
         return cache, logits, values
-
-    def _grad_into(self, stacked: nn.Parameter) -> Optional[np.ndarray]:
-        """Bind and return the persistent gradient buffer for ``stacked``.
-
-        Returns None when gradients must live in a different dtype than the
-        weights (mirroring ``Parameter._accumulate``'s cast to the global
-        default dtype) — the backward then falls back to allocating casts.
-        """
-        if np.dtype(nn.get_default_dtype()) != self.dtype:
-            return None
-        if self._grad_buffers is None:
-            self._grad_buffers = {id(p): np.empty_like(p.data)
-                                  for p in self._params}
-        buffer = self._grad_buffers[id(stacked)]
-        stacked.grad = buffer
-        return buffer
-
-    def _set_grad(self, stacked: nn.Parameter, grad: np.ndarray) -> None:
-        """Assign a computed gradient, casting like ``Parameter._accumulate``."""
-        grad = np.asarray(grad, dtype=nn.get_default_dtype())
-        stacked.grad = grad.copy() if grad.base is not None else grad
 
     def fused_backward(self, cache, dlogits: np.ndarray,
                        dvalues: np.ndarray) -> None:
@@ -865,7 +782,17 @@ class PensieveSeedStack:
             span = len(net0.conv_branches) * filters * positions
             d_conv = d_pre_merged[:, :, :span].reshape(
                 seeds, -1, len(net0.conv_branches), filters, positions)
-            d_weights = np.einsum("sbrfp,sbrpk->srfk", d_conv, windows)
+            if nn.get_numerics() == "fast":
+                # See PensieveNetwork.fused_backward: the re-blocked GEMM
+                # form of the conv-gradient contraction, seed axis leading.
+                branches = len(net0.conv_branches)
+                d_weights = np.matmul(
+                    d_conv.transpose(0, 2, 3, 1, 4).reshape(
+                        seeds, branches, filters, -1),
+                    windows.transpose(0, 2, 1, 3, 4).reshape(
+                        seeds, branches, -1, kernel))
+            else:
+                d_weights = np.einsum("sbrfp,sbrpk->srfk", d_conv, windows)
             d_biases = d_conv.sum(axis=(1, 4))
             for index, branch in enumerate(net0.conv_branches):
                 put(self.stacked_of(branch.weight),
@@ -994,6 +921,18 @@ class GenericActorCritic(ActorCriticNetwork):
         return params + self.critic_out.parameters()
 
     def policy_probs(self, states: np.ndarray) -> np.ndarray:
+        if _FAST_INFERENCE:
+            plan = self.compiled_plan()
+            if plan is not None and not plan.has_active_dropout():
+                # The compiled chain computes exactly the arithmetic of the
+                # legacy NumPy fast path (flatten/conv encoders) and of the
+                # graph forward (recurrent encoders), so decisions are
+                # identical to both — recurrent architectures just stop
+                # paying for an autograd graph per decision.  Training-mode
+                # dropout keeps the graph path: its actor-only chain would
+                # consume a different RNG-stream length per decision than
+                # the full-forward reference.
+                return plan.policy_probs(states)
         if not (_FAST_INFERENCE and self._fast_path_supported()):
             return self._policy_probs_graph(states)
         dtype = self.actor_out.weight.data.dtype
@@ -1009,6 +948,73 @@ class GenericActorCritic(ActorCriticNetwork):
             encoded = _dense_np(layer, encoded)
         logits = _dense_np(self.actor_out, encoded)
         return _softmax_np(logits)
+
+    # Compiled fused kernels (see repro.nn.compile) ----------------------------
+    def __getstate__(self):
+        # The compiled plan holds gradient/inference buffers; worker
+        # processes recompile on first use instead of shipping them.
+        state = dict(self.__dict__)
+        state.pop("_compile_cache", None)
+        return state
+
+    def compiled_plan(self):
+        """The fused kernel plan for this network, or None (with the reason
+        logged once) when the planner cannot lower it or compilation is off."""
+        return nn.plan_for(self)
+
+    def supports_fused_update(self) -> bool:
+        """True when the kernel planner lowered this architecture.
+
+        Compiled networks train through the same analytic fused-update path
+        as the hand-fused Pensieve network; ``--no-compile`` (or
+        ``repro.nn.set_compilation(False)``) reverts to the autograd graph
+        reference, and ``set_fast_inference(False)`` reverts the whole fast
+        engine exactly as it does for Pensieve.
+        """
+        return _FAST_INFERENCE and self.compiled_plan() is not None
+
+    def fused_forward(self, states: np.ndarray):
+        """Compiled analytic forward; see :meth:`PensieveNetwork.fused_forward`."""
+        plan = self.compiled_plan()
+        if plan is None:
+            raise RuntimeError("network did not compile; use the graph path")
+        return plan.fused_forward(states)
+
+    def fused_backward(self, cache, dlogits: np.ndarray,
+                       dvalues: np.ndarray) -> None:
+        """Compiled analytic backward; gradients land in ``Parameter.grad``."""
+        plan = self.compiled_plan()
+        if plan is None:
+            raise RuntimeError("network did not compile; use the graph path")
+        plan.fused_backward(cache, dlogits, dvalues)
+
+
+def seed_stack_compatible(networks: Sequence["ActorCriticNetwork"]) -> bool:
+    """Whether these networks can train through one stacked lockstep engine.
+
+    Pensieve architectures use the hand-fused :class:`PensieveSeedStack`;
+    any other design-space architecture qualifies when the kernel planner
+    can lower it (:class:`~repro.nn.compile.CompiledSeedStack`).
+    """
+    networks = list(networks)
+    return (PensieveSeedStack.compatible(networks)
+            or nn.CompiledSeedStack.compatible(networks))
+
+
+def build_seed_stack(networks: Sequence["ActorCriticNetwork"]):
+    """Build the appropriate stacked lockstep engine for ``networks``.
+
+    Raises ValueError when neither engine applies (mixed architectures, or
+    an architecture the kernel planner cannot lower).
+    """
+    networks = list(networks)
+    if PensieveSeedStack.compatible(networks):
+        return PensieveSeedStack(networks)
+    if nn.CompiledSeedStack.compatible(networks):
+        return nn.CompiledSeedStack(networks)
+    raise ValueError(
+        "networks cannot train in lockstep (no fused kernel support or "
+        "mismatched architectures); train each seed with A2CTrainer instead")
 
 
 def original_network_builder(state_shape: Tuple[int, ...], num_actions: int,

@@ -122,6 +122,18 @@ def _add_campaign_flags(parser: argparse.ArgumentParser) -> None:
                              "per-seed weights, batched fused updates) and train "
                              "every seed separately; results are identical, "
                              "lockstep is just faster")
+    parser.add_argument("--no-compile", action="store_true",
+                        help="disable the fused-kernel compiler for generated "
+                             "architectures; they then train through the "
+                             "autograd graph reference path (the escape "
+                             "hatch when debugging a design)")
+    parser.add_argument("--numerics", choices=["exact", "fast"],
+                        default="exact",
+                        help="gradient-contraction numerics: 'exact' "
+                             "(default) mirrors the autograd reference bit "
+                             "for bit; 'fast' re-blocks the conv-gradient "
+                             "contractions into single GEMMs — statistically "
+                             "equivalent scores, not bit-identical")
     parser.add_argument("--store", metavar="DIR", default=None,
                         help="persistent result-store directory; repeated or "
                              "interrupted campaigns reuse every already-"
@@ -199,9 +211,16 @@ def _campaign_config(args: argparse.Namespace, environment: str) -> NadaConfig:
     )
 
 
+def _apply_engine_flags(args: argparse.Namespace) -> None:
+    """Apply the process-global engine toggles the campaign flags select."""
+    nn.set_default_dtype(args.dtype)
+    nn.set_compilation(not args.no_compile)
+    nn.set_numerics(args.numerics)
+
+
 def _run_campaign(args: argparse.Namespace, environments: List[str]) -> int:
     """Sweep the named environments through one scheduled work-graph."""
-    nn.set_default_dtype(args.dtype)
+    _apply_engine_flags(args)
     store = ResultStore(args.store) if args.store else None
     pipelines = {}
     scheduler = None
@@ -238,7 +257,7 @@ def _run_campaign(args: argparse.Namespace, environments: List[str]) -> int:
 def _command_run(args: argparse.Namespace) -> int:
     if args.environment == "all":
         return _run_campaign(args, list_environments())
-    nn.set_default_dtype(args.dtype)
+    _apply_engine_flags(args)
     config = _campaign_config(args, args.environment)
     pipeline = NadaPipeline.for_environment(
         args.environment, config=config, dataset_scale=args.dataset_scale,

@@ -70,7 +70,9 @@ class EvaluationConfig:
     #: weights and batched fused updates (the multi-seed lockstep engine).
     #: The campaign scheduler runs one design's whole seed batch inside one
     #: worker, so lockstep applies both serially and under process fan-out.
-    #: Requires a network with fused updates and no early-stopping
+    #: Requires a network with fused updates — the original Pensieve
+    #: architecture or any generated design the kernel compiler
+    #: (:mod:`repro.nn.compile`) can lower — and no early-stopping
     #: classifier; anything else falls back to the per-seed path.
     #: Seed-for-seed results are identical either way (tested).
     lockstep_training: bool = True
@@ -237,6 +239,26 @@ class DesignTrainer:
                 return self._run_lockstep(agents, list(seeds))
         return [self.run(state_design, network_design, seed=seed,
                          early_stopping=early_stopping) for seed in seeds]
+
+    def supports_lockstep(self, state_design: Optional[Design],
+                          network_design: Optional[Design]) -> bool:
+        """Whether :meth:`run_seeds` would train this design in lockstep.
+
+        The campaign scheduler consults this before splitting a multi-seed
+        job into per-seed work items: lockstep-capable jobs stay whole so
+        the stacked engine applies inside their worker, while designs the
+        kernel planner cannot lower gain worker-level seed parallelism
+        instead.  Instantiation failures report False — the job itself will
+        surface the real error when it runs.
+        """
+        if not self.config.lockstep_training:
+            return False
+        try:
+            agent = instantiate_agent(state_design, network_design,
+                                      self.video, self.train_traces, seed=0)
+        except Exception:
+            return False
+        return MultiSeedA2CTrainer.supports([agent.network])
 
     def _run_lockstep(self, agents: Sequence[ABRAgent],
                       seeds: List[int]) -> List[TrainingRun]:

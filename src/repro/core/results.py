@@ -65,7 +65,8 @@ __all__ = [
 ]
 
 #: Version prefix mixed into every key; bump when the record layout changes.
-_SCHEMA_VERSION = "v1"
+#: v2: the kernel-compiler toggle and numerics mode joined the context.
+_SCHEMA_VERSION = "v2"
 
 #: EvaluationConfig fields excluded from the key.  ``lockstep_training`` and
 #: ``batched_evaluation`` are pure execution-engine choices whose outputs are
@@ -135,6 +136,11 @@ def context_fingerprint(trainer: "DesignTrainer", environment: str = "") -> str:
         # The folded-inference path agrees with the graph forward only to
         # float round-off (~1e-12), not bit-identity, so it is key material.
         f"fast_inference={fast_inference_enabled()}".encode("utf-8"),
+        # Likewise the kernel compiler (fused-vs-graph loss gradients agree
+        # to round-off, not bitwise) and its numerics mode ("fast" re-blocks
+        # gradient contractions and is only statistically equivalent).
+        f"compile={nn.compilation_enabled()}".encode("utf-8"),
+        f"numerics={nn.get_numerics()}".encode("utf-8"),
         _config_tokens(trainer.config),
         _config_tokens({
             "bitrates_kbps": list(video.bitrates_kbps),

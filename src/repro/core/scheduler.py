@@ -96,6 +96,9 @@ class JobResult:
     score: float
     #: True when every seed was served from the result store.
     cached: bool = False
+    #: True when this job was collapsed onto an identical job in the same
+    #: submission and its result fanned back from that single execution.
+    deduplicated: bool = False
 
 
 def protocol_score(runs: Sequence["TrainingRun"], last_k: int) -> float:
@@ -113,20 +116,32 @@ def protocol_score(runs: Sequence["TrainingRun"], last_k: int) -> float:
 
 # --------------------------------------------------------------------------- #
 # Worker payloads.  Spawned workers start from a fresh interpreter, so the
-# process-global tensor dtype and fast-inference toggle ride along with every
-# task and are re-applied before any computation.
+# process-global engine toggles — tensor dtype, fast inference, the kernel
+# compiler and its numerics mode — ride along with every task and are
+# re-applied before any computation.
 # --------------------------------------------------------------------------- #
+def _engine_state() -> Tuple[str, bool, bool, str]:
+    return (str(nn.get_default_dtype()), fast_inference_enabled(),
+            nn.compilation_enabled(), nn.get_numerics())
+
+
+def _apply_engine_state(state: Tuple[str, bool, bool, str]) -> None:
+    dtype, fast, compiled, numerics = state
+    nn.set_default_dtype(dtype)
+    set_fast_inference(fast)
+    nn.set_compilation(compiled)
+    nn.set_numerics(numerics)
+
+
 @dataclass(frozen=True)
 class _JobTask:
     job: EvaluationJob
-    dtype: str
-    fast_inference: bool
+    engine: Tuple[str, bool, bool, str]
 
 
 def _run_job_task(task: _JobTask) -> List["TrainingRun"]:
     """Worker entry point: train one job's seed batch, in lockstep if possible."""
-    nn.set_default_dtype(task.dtype)
-    set_fast_inference(task.fast_inference)
+    _apply_engine_state(task.engine)
     job = task.job
     return job.trainer.run_seeds(job.state_design, job.network_design,
                                  list(job.seeds),
@@ -137,13 +152,11 @@ def _run_job_task(task: _JobTask) -> List["TrainingRun"]:
 class _MapTask:
     fn: Callable[[Any], Any]
     item: Any
-    dtype: str
-    fast_inference: bool
+    engine: Tuple[str, bool, bool, str]
 
 
 def _run_map_task(task: _MapTask) -> Any:
-    nn.set_default_dtype(task.dtype)
-    set_fast_inference(task.fast_inference)
+    _apply_engine_state(task.engine)
     return task.fn(task.item)
 
 
@@ -165,13 +178,17 @@ class CampaignScheduler:
         #: memoized per live trainer instance (trainers are reused across
         #: jobs).  Weak keys mean a recycled object address can never serve
         #: another trainer's fingerprint, and the per-trainer entries are
-        #: keyed by the inputs that can change between runs (dtype,
-        #: environment label) so toggling either recomputes.
+        #: keyed by the inputs that can change between runs (dtype, engine
+        #: toggles, environment label) so toggling any recomputes.
         self._contexts: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+        #: Memoized "does this design train in lockstep?" probes, keyed by
+        #: design fingerprint and the engine toggles the answer depends on.
+        self._lockstep_probe: Dict[Tuple, bool] = {}
 
     # ------------------------------------------------------------------ #
     def _context(self, job: EvaluationJob) -> str:
         variant = (str(nn.get_default_dtype()), fast_inference_enabled(),
+                   nn.compilation_enabled(), nn.get_numerics(),
                    job.environment)
         per_trainer = self._contexts.setdefault(job.trainer, {})
         fingerprint = per_trainer.get(variant)
@@ -227,32 +244,71 @@ class CampaignScheduler:
         for key, run in zip(keys, runs):
             self.store.put_run(key, run, meta={**meta, "seed": run.seed})
 
-    @staticmethod
-    def _splits_without_cost(job: EvaluationJob) -> bool:
+    def _splits_without_cost(self, job: EvaluationJob) -> bool:
         """True when per-seed fan-out cannot lose lockstep batching.
 
         Jobs whose training falls to the per-seed path regardless — an
         early-stopping classifier attached, lockstep disabled in the
-        config, or a generated network architecture (only stacked
-        ``PensieveNetwork`` weights support the fused lockstep engine, per
-        ``PensieveSeedStack.compatible``) — gain worker-level seed
-        parallelism by splitting into singleton seed batches; records are
-        identical either way because the per-seed path is exactly what
-        runs inside the whole batch.  Lockstep-eligible jobs stay whole so
-        the stacked engine applies inside their worker.
+        config, or an architecture the kernel compiler cannot lower (since
+        PR 5 generated designs *do* lockstep whenever
+        :mod:`repro.nn.compile` can lower them, so only exotic codegen
+        output still splits) — gain worker-level seed parallelism by
+        splitting into singleton seed batches; records are identical
+        either way because the per-seed path is exactly what runs inside
+        the whole batch.  Lockstep-eligible jobs stay whole so the stacked
+        engine applies inside their worker.
         """
         if len(job.seeds) <= 1:
             return False
-        return (job.early_stopping is not None
-                or not job.trainer.config.lockstep_training
-                or job.network_design is not None)
+        if (job.early_stopping is not None
+                or not job.trainer.config.lockstep_training):
+            return True
+        if job.network_design is None:
+            return False
+        return not self._design_locksteps(job)
+
+    def _design_locksteps(self, job: EvaluationJob) -> bool:
+        """Memoized probe: would this job's design train in lockstep?
+
+        Instantiating the design's network (cheap — weight init only) is
+        the only way to know whether the kernel planner can lower it; the
+        answer is cached per design fingerprint and engine-toggle state so
+        a campaign pays for each distinct design once.
+        """
+        key = (design_fingerprint(job.state_design, job.network_design),
+               nn.compilation_enabled(), fast_inference_enabled())
+        cached = self._lockstep_probe.get(key)
+        if cached is None:
+            cached = bool(job.trainer.supports_lockstep(job.state_design,
+                                                        job.network_design))
+            self._lockstep_probe[key] = cached
+        return cached
+
+    @staticmethod
+    def _dedupe_key(job: EvaluationJob) -> Optional[Tuple]:
+        """Collapse key for identical jobs in one submission, or None.
+
+        Two jobs collapse when they share the trainer instance (hence the
+        evaluation context), the environment label, the design pair's
+        content fingerprint and the seed batch.  Jobs carrying an
+        early-stopping classifier never collapse: their outcome depends on
+        fitted classifier state, which the key cannot see.
+        """
+        if job.early_stopping is not None:
+            return None
+        return (id(job.trainer), job.environment,
+                design_fingerprint(job.state_design, job.network_design),
+                tuple(job.seeds))
 
     def run(self, jobs: Sequence[EvaluationJob]) -> List[JobResult]:
         """Execute a batch of jobs; results come back in submission order.
 
-        Cached jobs are answered from the store without touching the pool;
-        the remainder fan out across worker processes, each training its
-        seed batch in lockstep inside the worker.  Jobs that would train
+        Cached jobs are answered from the store without touching the pool.
+        Identical (design, context, seed batch) jobs within the submission
+        collapse to a single execution whose result fans back to every
+        requester (``JobResult.deduplicated`` marks the copies).  The
+        remainder fan out across worker processes, each training its seed
+        batch in lockstep inside the worker.  Jobs that would train
         per-seed anyway additionally split into per-seed work items under
         fan-out, so seeds of one design can occupy several workers when
         lockstep has nothing to lose.  Scores are bit-identical to running
@@ -261,7 +317,16 @@ class CampaignScheduler:
         jobs = list(jobs)
         results: List[Optional[JobResult]] = [None] * len(jobs)
         pending: List[Tuple[int, EvaluationJob, Optional[List[str]]]] = []
+        aliases: Dict[int, int] = {}  # duplicate index -> primary index
+        primary_of: Dict[Tuple, int] = {}
         for index, job in enumerate(jobs):
+            dedupe = self._dedupe_key(job)
+            if dedupe is not None:
+                primary = primary_of.get(dedupe)
+                if primary is not None:
+                    aliases[index] = primary
+                    continue
+                primary_of[dedupe] = index
             keys = self._job_keys(job)
             cached_runs = self._lookup(job, keys)
             if cached_runs is not None:
@@ -273,8 +338,7 @@ class CampaignScheduler:
                 pending.append((index, job, keys))
 
         if pending:
-            dtype = str(nn.get_default_dtype())
-            fast = fast_inference_enabled()
+            engine = _engine_state()
             split = self.parallel.resolved_workers() > 1
             subjobs: List[EvaluationJob] = []
             spans: List[int] = []
@@ -284,7 +348,7 @@ class CampaignScheduler:
                          else [job])
                 subjobs.extend(parts)
                 spans.append(len(parts))
-            tasks = [_JobTask(sub, dtype, fast) for sub in subjobs]
+            tasks = [_JobTask(sub, engine) for sub in subjobs]
             flat = parallel_map(_run_job_task, tasks, self.parallel)
             cursor = 0
             for (index, job, keys), span in zip(pending, spans):
@@ -295,6 +359,13 @@ class CampaignScheduler:
                 score = protocol_score(runs,
                                        job.trainer.config.last_k_checkpoints)
                 results[index] = JobResult(job=job, runs=runs, score=score)
+
+        for index, primary in aliases.items():
+            source = results[primary]
+            results[index] = JobResult(job=jobs[index], runs=source.runs,
+                                       score=source.score,
+                                       cached=source.cached,
+                                       deduplicated=True)
         return results  # type: ignore[return-value]
 
     # ------------------------------------------------------------------ #
@@ -304,10 +375,9 @@ class CampaignScheduler:
         Used by drivers whose work items do not produce
         :class:`TrainingRun` batches (e.g. the early-stopping corpus
         builder).  The scheduler still owns execution — worker processes
-        inherit the tensor dtype and fast-inference toggle exactly as
+        inherit the tensor dtype and every engine toggle exactly as
         evaluation jobs do — but results bypass the store.
         """
-        dtype = str(nn.get_default_dtype())
-        fast = fast_inference_enabled()
-        tasks = [_MapTask(fn, item, dtype, fast) for item in items]
+        engine = _engine_state()
+        tasks = [_MapTask(fn, item, engine) for item in items]
         return parallel_map(_run_map_task, tasks, self.parallel)

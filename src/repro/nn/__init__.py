@@ -41,6 +41,10 @@ from .losses import (
     mse_loss,
     policy_gradient_loss,
 )
+from .compile import (CompileError, CompiledPlan, CompiledSeedStack,
+                      CompiledSequence, SeedParameterStack,
+                      compilation_enabled, get_numerics, lower_sequence,
+                      plan_for, set_compilation, set_numerics)
 from .optim import (Adam, Optimizer, RMSProp, SGD, StackedAdam,
                     StackedRMSProp, StackedSGD, clip_grad_norm,
                     clip_grad_norm_stacked)
@@ -81,6 +85,10 @@ __all__ = [
     "Optimizer", "SGD", "RMSProp", "Adam",
     "StackedSGD", "StackedRMSProp", "StackedAdam",
     "clip_grad_norm", "clip_grad_norm_stacked",
+    # compile
+    "CompileError", "CompiledPlan", "CompiledSeedStack", "CompiledSequence",
+    "SeedParameterStack", "compilation_enabled", "set_compilation",
+    "get_numerics", "set_numerics", "plan_for", "lower_sequence",
     # serialization
     "save_state", "load_state", "save_module", "load_module",
 ]

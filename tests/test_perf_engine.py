@@ -343,10 +343,19 @@ class TestFusedUpdate:
                         fused_trainer.agent.network.parameters()):
             np.testing.assert_allclose(p.data, q.data, atol=1e-10)
 
-    def test_generic_network_reports_no_fused_support(self):
+    def test_generic_network_fused_support_follows_compiler(self):
+        # Since PR 5 the kernel compiler lowers generated architectures onto
+        # the fused path; --no-compile restores the graph-only behaviour.
         network = GenericActorCritic((6, 8), 6,
                                      rng=np.random.default_rng(0))
-        assert network.supports_fused_update() is False
+        assert network.supports_fused_update() is True
+        previous = nn.set_compilation(False)
+        try:
+            fresh = GenericActorCritic((6, 8), 6,
+                                       rng=np.random.default_rng(0))
+            assert fresh.supports_fused_update() is False
+        finally:
+            nn.set_compilation(previous)
 
 
 class TestDiscountedReturnsVectorized:

@@ -308,7 +308,7 @@ class TestResultStore:
         job = EvaluationJob(trainer=trainer, state_design=None,
                             network_design=None, seeds=(0, 1),
                             environment="fcc")
-        assert CampaignScheduler._splits_without_cost(job)
+        assert CampaignScheduler()._splits_without_cost(job)
         whole = CampaignScheduler(ParallelConfig(max_workers=1)).run([job])[0]
         split = CampaignScheduler(ParallelConfig(max_workers=2)).run([job])[0]
         assert split.score == whole.score
