@@ -28,17 +28,24 @@ bench-generated:
 
 # Tiny end-to-end pass over the multi-environment scenarios: both examples at
 # smoke scale, then a two-environment CLI campaign exercising the scheduler
-# and the persistent result store (cold pass then warm replay).
+# and the persistent result store (cold pass with telemetry + Chrome trace,
+# then warm replay).  The cold pass's `repro report` summary lands in
+# campaign-telemetry-summary.txt (uploaded as a CI artifact), and the trace
+# JSON is validated as loadable Chrome/Perfetto input.
 campaign-smoke:
 	$(PYTHON) examples/cellular_5g_streaming.py --dataset-scale 0.02 --num-designs 3 --train-epochs 8 --num-chunks 6
 	$(PYTHON) examples/starlink_satellite_abr.py --dataset-scale 0.05 --num-designs 3 --train-epochs 8 --num-chunks 6
-	rm -rf .campaign-smoke-store
+	rm -rf .campaign-smoke-store .campaign-smoke-telemetry .campaign-smoke-trace.json
+	$(PYTHON) -m repro campaign --environments fcc starlink --num-designs 2 \
+	    --dataset-scale 0.02 --num-chunks 6 --train-epochs 6 \
+	    --checkpoint-interval 2 --num-seeds 1 --no-early-stopping \
+	    --store .campaign-smoke-store \
+	    --telemetry .campaign-smoke-telemetry --trace .campaign-smoke-trace.json
+	$(PYTHON) -c "import json; t = json.load(open('.campaign-smoke-trace.json'))['traceEvents']; assert t and all({'name', 'ph', 'ts'} <= set(e) for e in t), 'malformed Chrome trace'; print(f'trace OK: {len(t)} events')"
+	$(PYTHON) -m repro report .campaign-smoke-telemetry | tee campaign-telemetry-summary.txt
+	test -s campaign-telemetry-summary.txt
 	$(PYTHON) -m repro campaign --environments fcc starlink --num-designs 2 \
 	    --dataset-scale 0.02 --num-chunks 6 --train-epochs 6 \
 	    --checkpoint-interval 2 --num-seeds 1 --no-early-stopping \
 	    --store .campaign-smoke-store
-	$(PYTHON) -m repro campaign --environments fcc starlink --num-designs 2 \
-	    --dataset-scale 0.02 --num-chunks 6 --train-epochs 6 \
-	    --checkpoint-interval 2 --num-seeds 1 --no-early-stopping \
-	    --store .campaign-smoke-store
-	rm -rf .campaign-smoke-store
+	rm -rf .campaign-smoke-store .campaign-smoke-telemetry .campaign-smoke-trace.json

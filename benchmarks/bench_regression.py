@@ -19,6 +19,17 @@ Two properties are enforced per workload:
   container), so the gate compares speedup *ratios*, with generous slack for
   noisy CI neighbours.
 
+A third gate guards the telemetry layer: with telemetry disabled, the
+instrumentation's projected cost (events an instrumented run would emit ×
+measured per-call cost of the disabled hot path) must stay below
+``--max-telemetry-overhead`` of that run's wall time.  Projection instead of
+a wall-clock A/B keeps the gate deterministic — the disabled path costs
+nanoseconds, so a direct A/B would drown in scheduler noise.
+
+Committed baselines may carry a ``host`` metadata block (machine, python and
+numpy versions, git sha — see ``bench_scales.host_metadata``); it is for
+humans comparing reports across machines and is ignored here.
+
 Exit code 0 when every gate passes, 1 otherwise.
 
 Run from the repository root::
@@ -32,6 +43,7 @@ import argparse
 import json
 import os
 import sys
+import time
 from dataclasses import replace
 from typing import List, Optional
 
@@ -81,6 +93,55 @@ def _check(name: str, fresh: dict, baseline: Optional[dict],
             f"{min_fraction:.0%} of the committed {committed:.2f}x")
 
 
+def _check_telemetry_overhead(max_fraction: float,
+                              failures: List[str]) -> None:
+    """Gate the disabled-telemetry cost of the instrumented stack.
+
+    Measures (a) the per-call cost of the disabled span path and (b) the
+    event count and wall time of a real instrumented workload, then projects
+    (a) × events onto the workload: that is the full price the workload pays
+    for its instrumentation when telemetry is off.
+    """
+    from repro.analysis.experiments import build_environment
+    from repro.core import telemetry
+    from repro.core.evaluation import DesignTrainer, TestScoreProtocol
+
+    assert not telemetry.enabled(), "telemetry must be off for this gate"
+    calls = 200_000
+    span = telemetry.span
+    start = time.perf_counter()
+    for _ in range(calls):
+        with span("bench.noop"):
+            pass
+    per_call = (time.perf_counter() - start) / calls
+
+    scale = replace(SMOKE_SCALE, train_epochs=8, checkpoint_interval=4)
+    setup = build_environment("fcc", scale)
+    trainer = DesignTrainer(setup.video, setup.train_traces,
+                            setup.test_traces,
+                            config=scale.evaluation_config(), qoe=setup.qoe)
+    protocol = TestScoreProtocol(trainer, seeds=[0, 1], environment="fcc",
+                                 scheduler=scale.scheduler())
+    sink = telemetry.Telemetry()
+    previous = telemetry.set_telemetry(sink)
+    try:
+        start = time.perf_counter()
+        protocol.run(None, None)
+        workload_s = time.perf_counter() - start
+    finally:
+        telemetry.set_telemetry(previous)
+
+    projected = len(sink.events) * per_call / max(workload_s, 1e-9)
+    print(f"telemetry: disabled span {per_call * 1e9:.0f} ns/call, "
+          f"{len(sink.events)} events over {workload_s:.2f} s workload "
+          f"-> {projected:.4%} projected overhead "
+          f"(ceiling {max_fraction:.0%})")
+    if projected > max_fraction:
+        failures.append(
+            f"telemetry: projected disabled-telemetry overhead "
+            f"{projected:.2%} exceeds {max_fraction:.0%}")
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         description="Regression gate comparing fresh benchmark runs against "
@@ -95,7 +156,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--max-score-delta", type=float, default=1e-9,
                         help="maximum tolerated |score(reference) - "
                              "score(fast engine)| in the fresh runs")
-    parser.add_argument("--skip", nargs="*", choices=sorted(BASELINES),
+    parser.add_argument("--max-telemetry-overhead", type=float, default=0.02,
+                        help="ceiling on the projected disabled-telemetry "
+                             "overhead fraction")
+    parser.add_argument("--skip", nargs="*",
+                        choices=sorted(BASELINES) + ["telemetry"],
                         default=[], help="workloads to skip")
     args = parser.parse_args(argv)
 
@@ -110,6 +175,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         _check("generated", fresh,
                _load_baseline(args.baseline_dir, "generated"),
                args.min_speedup_fraction, args.max_score_delta, failures)
+    if "telemetry" not in args.skip:
+        _check_telemetry_overhead(args.max_telemetry_overhead, failures)
 
     if failures:
         for failure in failures:

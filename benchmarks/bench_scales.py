@@ -581,7 +581,37 @@ def run_campaign_benchmark(scale: Optional[ExperimentScale] = None,
     }
 
 
+def _git_sha() -> Optional[str]:
+    import subprocess
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"], capture_output=True, text=True,
+            timeout=10, cwd=os.path.dirname(os.path.abspath(__file__)))
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = proc.stdout.strip()
+    return sha if proc.returncode == 0 and sha else None
+
+
+def host_metadata() -> dict:
+    """Machine context embedded in JSON reports so committed ``BENCH_*.json``
+    files are comparable across machines.  ``bench_regression.py`` ignores
+    this block — only ratios are gated, never absolute times."""
+    import platform
+    return {
+        "cpu_count": os.cpu_count(),
+        "machine": platform.machine(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "default_dtype": str(nn.get_default_dtype()),
+        "git_sha": _git_sha(),
+    }
+
+
 def _write_json(report: dict, path: str) -> None:
+    report = dict(report)
+    report["host"] = host_metadata()
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")

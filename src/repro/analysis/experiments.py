@@ -24,6 +24,7 @@ from ..core.filters import FilterPipeline, FilterReport
 from ..core.parallel import ParallelConfig
 from ..core.generation import DesignGenerator, GenerationConfig
 from ..core.predictors import DesignSampleFeatures
+from ..core import telemetry
 from ..core.results import ResultStore
 from ..core.scheduler import CampaignScheduler
 from ..core.prompts import PromptConfig
@@ -90,6 +91,9 @@ class ExperimentScale:
     #: Directory of the persistent result store shared by the drivers; None
     #: (default) recomputes everything.
     store_dir: Optional[str] = None
+    #: Directory for structured telemetry (spans, counters, training-metric
+    #: series), plumbed like ``store_dir``; None leaves telemetry untouched.
+    telemetry_dir: Optional[str] = None
 
     def evaluation_config(self) -> EvaluationConfig:
         return EvaluationConfig(
@@ -108,6 +112,8 @@ class ExperimentScale:
 
     def scheduler(self) -> CampaignScheduler:
         """The work-graph execution layer every driver submits jobs to."""
+        if self.telemetry_dir:
+            telemetry.enable(self.telemetry_dir)
         store = ResultStore(self.store_dir) if self.store_dir else None
         return CampaignScheduler(parallel=self.parallel_config(), store=store)
 

@@ -1,6 +1,6 @@
 """Command-line interface for the Nada reproduction.
 
-Four subcommands cover the common workflows:
+Five subcommands cover the common workflows:
 
 ``run``
     Run a Nada campaign in one of the paper's environments (or
@@ -20,6 +20,16 @@ Four subcommands cover the common workflows:
 ``baselines``
     Evaluate the classic ABR baselines (and optionally a freshly trained
     original-Pensieve agent) on an environment's test traces.
+
+``report``
+    Summarize a telemetry directory recorded with ``--telemetry DIR``: cache
+    hit-rate, worker utilization, top time sinks, the compile fallback table
+    and the slowest designs.  ``--trace out.json`` on a campaign additionally
+    writes a Chrome-trace file loadable in Perfetto (https://ui.perfetto.dev).
+
+Result tables and summaries print to stdout; progress commentary goes
+through :mod:`repro.log` to stderr and is controlled by ``--verbose`` /
+``--quiet`` on every subcommand.
 
 Training schedules default to each environment's published Table 1 settings
 (``EnvironmentSpec.train_epochs`` / ``test_interval``) scaled by
@@ -43,11 +53,14 @@ from . import nn
 from .abr import make_baseline, run_session, synthetic_video
 from .analysis import render_table
 from .core import (EvaluationConfig, NadaCampaign, NadaConfig, NadaPipeline,
-                   ResultStore)
+                   ResultStore, telemetry)
+from .log import configure as configure_logging, get_logger
 from .rl import A2CConfig
 from .traces import ENVIRONMENTS, build_dataset, list_environments, save_traceset
 
 __all__ = ["main", "build_parser", "resolve_schedule"]
+
+logger = get_logger("cli")
 
 #: Default fraction of the published Table 1 schedule used by the CLI.  At
 #: this scale the FCC/4G/5G epoch budget lands on 60 training epochs and
@@ -81,6 +94,16 @@ def _positive_float(raw: str) -> float:
     if value <= 0:
         raise argparse.ArgumentTypeError(f"must be positive, got {raw!r}")
     return value
+
+
+def _add_logging_flags(parser: argparse.ArgumentParser) -> None:
+    """``--verbose``/``--quiet``, shared by every subcommand."""
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument("-v", "--verbose", action="count", default=0,
+                       help="show debug-level progress on stderr")
+    group.add_argument("-q", "--quiet", action="store_true",
+                       help="suppress progress commentary (warnings only); "
+                            "result tables still print to stdout")
 
 
 def _add_campaign_flags(parser: argparse.ArgumentParser) -> None:
@@ -138,6 +161,14 @@ def _add_campaign_flags(parser: argparse.ArgumentParser) -> None:
                         help="persistent result-store directory; repeated or "
                              "interrupted campaigns reuse every already-"
                              "scored (design, environment, seed) record")
+    parser.add_argument("--telemetry", metavar="DIR", default=None,
+                        help="record structured telemetry (spans, counters, "
+                             "training-metric series) as JSON lines under "
+                             "DIR; summarize with 'repro report DIR'")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="write a Chrome-trace JSON of the campaign to "
+                             "PATH (load it at https://ui.perfetto.dev)")
+    _add_logging_flags(parser)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -173,6 +204,7 @@ def build_parser() -> argparse.ArgumentParser:
     traces.add_argument("--seed", type=int, default=0)
     traces.add_argument("--output", required=True,
                         help="directory for the generated .log trace files")
+    _add_logging_flags(traces)
 
     baselines = subparsers.add_parser(
         "baselines", help="evaluate classic ABR baselines on an environment")
@@ -183,6 +215,19 @@ def build_parser() -> argparse.ArgumentParser:
     baselines.add_argument("--seed", type=int, default=0)
     baselines.add_argument("--policies", nargs="+",
                            default=["bba", "rate_based", "bola", "mpc"])
+    _add_logging_flags(baselines)
+
+    report = subparsers.add_parser(
+        "report", help="summarize a telemetry directory recorded with "
+                       "--telemetry")
+    report.add_argument("directory",
+                        help="telemetry directory (events-*.jsonl files)")
+    report.add_argument("--top", type=int, default=8,
+                        help="rows per ranked section (time sinks, designs)")
+    report.add_argument("--json", action="store_true",
+                        help="emit the machine-readable summary instead of "
+                             "the rendered report")
+    _add_logging_flags(report)
     return parser
 
 
@@ -208,6 +253,7 @@ def _campaign_config(args: argparse.Namespace, environment: str) -> NadaConfig:
         seed=args.seed,
         workers=args.workers,
         store_dir=args.store,
+        telemetry_dir=args.telemetry,
     )
 
 
@@ -218,9 +264,36 @@ def _apply_engine_flags(args: argparse.Namespace) -> None:
     nn.set_numerics(args.numerics)
 
 
+def _start_telemetry(args: argparse.Namespace) -> Optional[telemetry.Telemetry]:
+    """Activate telemetry when ``--telemetry`` or ``--trace`` asks for it."""
+    if args.telemetry or args.trace:
+        return telemetry.enable(args.telemetry)
+    return None
+
+
+def _finish_telemetry(args: argparse.Namespace,
+                      sink: Optional[telemetry.Telemetry]) -> None:
+    """Flush event files and write the Chrome trace after a campaign."""
+    if sink is None:
+        return
+    if sink.directory:
+        path = sink.flush()
+        logger.info("telemetry: %d events in %s (summarize with "
+                    "'repro report %s')", len(sink.events), path,
+                    sink.directory)
+    if args.trace:
+        telemetry.write_chrome_trace(sink.events, args.trace)
+        logger.info("telemetry: Chrome trace written to %s "
+                    "(load at https://ui.perfetto.dev)", args.trace)
+    # The CLI owns the session it started: later invocations in the same
+    # process (tests, notebooks) must not inherit an active sink.
+    telemetry.disable()
+
+
 def _run_campaign(args: argparse.Namespace, environments: List[str]) -> int:
     """Sweep the named environments through one scheduled work-graph."""
     _apply_engine_flags(args)
+    sink = _start_telemetry(args)
     store = ResultStore(args.store) if args.store else None
     pipelines = {}
     scheduler = None
@@ -234,11 +307,11 @@ def _run_campaign(args: argparse.Namespace, environments: List[str]) -> int:
         scheduler = pipeline.scheduler
         pipelines[environment] = pipeline
     campaign = NadaCampaign(pipelines, scheduler=scheduler)
-    print(f"running Nada campaign on {', '.join(environments)} "
-          f"(target={args.target}, llm={args.llm}, "
-          f"designs={args.num_designs}/component, workers={args.workers})")
+    logger.info("running Nada campaign on %s (target=%s, llm=%s, "
+                "designs=%d/component, workers=%s)",
+                ", ".join(environments), args.target, args.llm,
+                args.num_designs, args.workers)
     result = campaign.run()
-    print()
     print(result.summary())
     if getattr(args, "show_code", False):
         for environment in environments:
@@ -251,6 +324,7 @@ def _run_campaign(args: argparse.Namespace, environments: List[str]) -> int:
         print()
         print(f"result store      : {stats['records']} records "
               f"({stats['hits']} hits, {stats['misses']} misses this run)")
+    _finish_telemetry(args, sink)
     return 0
 
 
@@ -258,19 +332,20 @@ def _command_run(args: argparse.Namespace) -> int:
     if args.environment == "all":
         return _run_campaign(args, list_environments())
     _apply_engine_flags(args)
+    sink = _start_telemetry(args)
     config = _campaign_config(args, args.environment)
     pipeline = NadaPipeline.for_environment(
         args.environment, config=config, dataset_scale=args.dataset_scale,
         num_chunks=args.num_chunks, seed=args.seed)
-    print(f"running Nada on {args.environment} "
-          f"(target={args.target}, llm={args.llm}, designs={args.num_designs}, "
-          f"epochs={config.evaluation.train_epochs})")
+    logger.info("running Nada on %s (target=%s, llm=%s, designs=%d, "
+                "epochs=%d)", args.environment, args.target, args.llm,
+                args.num_designs, config.evaluation.train_epochs)
     result = pipeline.run()
-    print()
     print(result.summary())
     if args.show_code and result.best_design is not None:
         print()
         print(result.best_design.code)
+    _finish_telemetry(args, sink)
     return 0
 
 
@@ -291,8 +366,8 @@ def _command_traces(args: argparse.Namespace) -> int:
     test_dir = os.path.join(args.output, "test")
     save_traceset(train, train_dir)
     save_traceset(test, test_dir)
-    print(f"wrote {len(train)} training traces to {train_dir}")
-    print(f"wrote {len(test)} test traces to {test_dir}")
+    logger.info("wrote %d training traces to %s", len(train), train_dir)
+    logger.info("wrote %d test traces to %s", len(test), test_dir)
     print(f"mean throughput: train {train.mean_throughput_mbps:.2f} Mbps, "
           f"test {test.mean_throughput_mbps:.2f} Mbps")
     return 0
@@ -317,15 +392,36 @@ def _command_baselines(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_report(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    try:
+        events = telemetry.load_events(args.directory)
+    except FileNotFoundError as exc:
+        logger.error("%s", exc)
+        return 1
+    if not events:
+        logger.error("no telemetry events found in %s", args.directory)
+        return 1
+    if args.json:
+        print(json_module.dumps(telemetry.summarize(events), indent=2))
+    else:
+        print(telemetry.render_report(events, top=args.top))
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    configure_logging(-1 if getattr(args, "quiet", False)
+                      else getattr(args, "verbose", 0))
     handlers = {
         "run": _command_run,
         "campaign": _command_campaign,
         "traces": _command_traces,
         "baselines": _command_baselines,
+        "report": _command_report,
     }
     return handlers[args.command](args)
 

@@ -41,6 +41,8 @@ from .results import (ResultStore, context_fingerprint, design_fingerprint,
                       result_key)
 from .scheduler import (CampaignScheduler, EvaluationJob, JobResult,
                         protocol_score)
+from . import telemetry
+from .telemetry import Telemetry, TelemetryEvent
 from .predictors import (
     DesignSampleFeatures,
     EarlyStopPredictor,
@@ -94,6 +96,8 @@ __all__ = [
     # scheduler + result store
     "CampaignScheduler", "EvaluationJob", "JobResult", "protocol_score",
     "ResultStore", "design_fingerprint", "context_fingerprint", "result_key",
+    # telemetry
+    "telemetry", "Telemetry", "TelemetryEvent",
     # pipeline
     "NadaConfig", "NadaResult", "NadaPipeline",
     "NadaCampaign", "CampaignResult",

@@ -16,7 +16,7 @@ This module implements:
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -26,7 +26,7 @@ from ..abr.qoe import LinearQoE, QoEMetric
 from ..abr.state import StateFunction
 from ..abr.video import Video
 from ..rl.a2c import (A2CConfig, A2CTrainer, MultiSeedA2CTrainer,
-                      evaluate_agent)
+                      TRAINING_METRIC_NAMES, evaluate_agent)
 from ..rl.agent import ABRAgent
 from ..traces.base import TraceSet
 from .codegen import load_network_builder, load_state_function
@@ -100,6 +100,12 @@ class TrainingRun:
     #: The ``last_k_checkpoints`` of the config this run was trained under;
     #: None falls back to averaging every checkpoint.
     last_k_checkpoints: Optional[int] = None
+    #: Per-checkpoint training metrics (entropy, actor/critic loss, gradient
+    #: norm — see :data:`~repro.rl.a2c.TRAINING_METRIC_NAMES`), each list
+    #: aligned with ``checkpoint_epochs``.  Persisted in store records so a
+    #: warm-store replay keeps the original run's training curves; None for
+    #: records written before the telemetry layer existed.
+    checkpoint_metrics: Optional[Dict[str, List[float]]] = None
 
     @property
     def final_score(self) -> float:
@@ -182,6 +188,8 @@ class DesignTrainer:
 
         checkpoint_epochs: List[int] = []
         checkpoint_scores: List[float] = []
+        metric_series: Dict[str, List[float]] = {
+            name: [] for name in TRAINING_METRIC_NAMES}
         early_stopped = False
 
         for epoch in range(1, cfg.train_epochs + 1):
@@ -199,6 +207,8 @@ class DesignTrainer:
                                        batched=cfg.batched_evaluation)
                 checkpoint_epochs.append(epoch)
                 checkpoint_scores.append(score)
+                for name, value in trainer.checkpoint_metrics().items():
+                    metric_series[name].append(value)
 
         return TrainingRun(
             seed=seed,
@@ -207,6 +217,7 @@ class DesignTrainer:
             checkpoint_scores=checkpoint_scores,
             early_stopped=early_stopped,
             last_k_checkpoints=cfg.last_k_checkpoints,
+            checkpoint_metrics=metric_series,
         )
 
     # ------------------------------------------------------------------ #
@@ -274,6 +285,8 @@ class DesignTrainer:
                                       seeds=seeds)
         checkpoint_epochs: List[int] = []
         checkpoint_scores: List[List[float]] = [[] for _ in seeds]
+        metric_series: List[Dict[str, List[float]]] = [
+            {name: [] for name in TRAINING_METRIC_NAMES} for _ in seeds]
         for epoch in range(1, cfg.train_epochs + 1):
             trainer.train_epoch()
             if epoch % cfg.checkpoint_interval == 0:
@@ -283,6 +296,10 @@ class DesignTrainer:
                 checkpoint_epochs.append(epoch)
                 for per_seed, score in zip(checkpoint_scores, scores):
                     per_seed.append(score)
+                for per_seed_metrics, metrics in zip(
+                        metric_series, trainer.checkpoint_metrics()):
+                    for name, value in metrics.items():
+                        per_seed_metrics[name].append(value)
         return [TrainingRun(
                     seed=seed,
                     reward_history=list(rewards),
@@ -290,8 +307,10 @@ class DesignTrainer:
                     checkpoint_scores=scores,
                     early_stopped=False,
                     last_k_checkpoints=cfg.last_k_checkpoints,
-                ) for seed, rewards, scores in zip(
-                    seeds, trainer.reward_histories, checkpoint_scores)]
+                    checkpoint_metrics=metrics,
+                ) for seed, rewards, scores, metrics in zip(
+                    seeds, trainer.reward_histories, checkpoint_scores,
+                    metric_series)]
 
 
 class TestScoreProtocol:

@@ -26,10 +26,15 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, TypeVar
 
+from ..log import get_logger
+from . import telemetry
+
 __all__ = ["ParallelConfig", "effective_workers", "parallel_map"]
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+logger = get_logger("parallel")
 
 #: Environment variable consulted when ``max_workers`` is None.
 WORKERS_ENV_VAR = "REPRO_WORKERS"
@@ -80,13 +85,26 @@ def parallel_map(fn: Callable[[T], R], items: Sequence[T],
     config = config or ParallelConfig()
     items = list(items)
     workers = config.resolved_workers()
+    tel = telemetry.get_telemetry()
+    attrs = ({"items": len(items), "workers": workers}
+             if tel is not None else None)
     if workers <= 1 or len(items) < max(config.chunk_threshold, 2):
-        return [fn(item) for item in items]
+        with telemetry.span("parallel.map", attrs):
+            return [fn(item) for item in items]
     workers = min(workers, len(items))
-    try:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(fn, items))
-    except (OSError, PermissionError, pickle.PicklingError, AttributeError) as exc:
-        warnings.warn(
-            f"process pool unavailable ({exc!r}); falling back to serial execution")
-        return [fn(item) for item in items]
+    if attrs is not None:
+        attrs["workers"] = workers
+    with telemetry.span("parallel.map", attrs):
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                return list(pool.map(fn, items))
+        except (OSError, PermissionError, pickle.PicklingError,
+                AttributeError) as exc:
+            logger.warning("process pool unavailable (%r); "
+                           "falling back to serial execution", exc)
+            warnings.warn(
+                f"process pool unavailable ({exc!r}); "
+                f"falling back to serial execution")
+            if tel is not None:
+                tel.counter("parallel.serial_fallback")
+            return [fn(item) for item in items]

@@ -36,6 +36,7 @@ from ..llm.base import LLMClient
 from ..llm.synthetic import SyntheticLLM
 from ..traces.base import TraceSet
 from ..traces.registry import ENVIRONMENTS, build_dataset, list_environments
+from . import telemetry
 from .design import CandidatePool, Design, DesignKind, DesignStatus
 from .early_stopping import EarlyStoppingConfig, RewardTrajectoryClassifier
 from .evaluation import DesignTrainer, EvaluationConfig, TestScoreProtocol
@@ -81,6 +82,10 @@ class NadaConfig:
     #: With a store, repeated campaigns skip already-scored (design,
     #: environment, seed) work and interrupted campaigns resume.
     store_dir: Optional[str] = None
+    #: Directory for structured telemetry (spans, counters, training-metric
+    #: series); None leaves telemetry in whatever state the process has.
+    #: Events are flushed as JSON lines and summarized by ``repro report``.
+    telemetry_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.target not in ("state", "network", "both"):
@@ -169,6 +174,8 @@ class NadaPipeline:
         self.llm_client = llm_client or SyntheticLLM(self.config.llm,
                                                      seed=self.config.seed)
         self.environment = environment
+        if self.config.telemetry_dir:
+            telemetry.enable(self.config.telemetry_dir)
         if scheduler is None:
             if store is None and self.config.store_dir:
                 store = ResultStore(self.config.store_dir)
@@ -305,13 +312,23 @@ class NadaPipeline:
 
     def run(self) -> NadaResult:
         """Execute the full pipeline and return its result."""
-        stages = self._prepare()
-        self._apply_stage_one(stages,
-                              self._scheduler.run(self._stage_one_jobs(stages)))
-        stage_two = self._stage_two_jobs(stages)
-        if stage_two:
-            self._apply_stage_two(stages, self._scheduler.run(stage_two))
-        return self._result(stages)
+        attrs = {"environment": self.environment}
+        with telemetry.span("pipeline.run", attrs):
+            with telemetry.span("pipeline.prepare", attrs):
+                stages = self._prepare()
+            with telemetry.span("pipeline.stage1", attrs):
+                self._apply_stage_one(
+                    stages, self._scheduler.run(self._stage_one_jobs(stages)))
+            stage_two = self._stage_two_jobs(stages)
+            if stage_two:
+                with telemetry.span("pipeline.stage2", attrs):
+                    self._apply_stage_two(stages,
+                                          self._scheduler.run(stage_two))
+            result = self._result(stages)
+        sink = telemetry.get_telemetry()
+        if sink is not None and sink.directory:
+            sink.flush()
+        return result
 
     # ------------------------------------------------------------------ #
     def evaluate_combination(self, state_design: Optional[Design],
@@ -402,25 +419,37 @@ class NadaCampaign:
     # ------------------------------------------------------------------ #
     def run(self) -> CampaignResult:
         """Execute the campaign work-graph and return per-environment results."""
-        stages = {name: pipeline._prepare()
-                  for name, pipeline in self.pipelines.items()}
+        attrs = {"environments": ",".join(self.pipelines)}
+        with telemetry.span("campaign.run", attrs):
+            with telemetry.span("campaign.prepare", attrs):
+                stages = {name: pipeline._prepare()
+                          for name, pipeline in self.pipelines.items()}
 
-        # Stage 1 across every environment, one scheduler pass.
-        batches = {name: self.pipelines[name]._stage_one_jobs(stages[name])
-                   for name in self.pipelines}
-        self._run_batches(batches,
-                          lambda name, results: self.pipelines[name]
-                          ._apply_stage_one(stages[name], results))
+            # Stage 1 across every environment, one scheduler pass.
+            with telemetry.span("campaign.stage1", attrs):
+                batches = {name: self.pipelines[name]
+                           ._stage_one_jobs(stages[name])
+                           for name in self.pipelines}
+                self._run_batches(batches,
+                                  lambda name, results: self.pipelines[name]
+                                  ._apply_stage_one(stages[name], results))
 
-        # Stage 2 (filtered evaluation) across every environment.
-        batches = {name: self.pipelines[name]._stage_two_jobs(stages[name])
-                   for name in self.pipelines}
-        self._run_batches(batches,
-                          lambda name, results: self.pipelines[name]
-                          ._apply_stage_two(stages[name], results))
+            # Stage 2 (filtered evaluation) across every environment.
+            with telemetry.span("campaign.stage2", attrs):
+                batches = {name: self.pipelines[name]
+                           ._stage_two_jobs(stages[name])
+                           for name in self.pipelines}
+                self._run_batches(batches,
+                                  lambda name, results: self.pipelines[name]
+                                  ._apply_stage_two(stages[name], results))
 
-        return CampaignResult({name: self.pipelines[name]._result(stages[name])
-                               for name in self.pipelines})
+            result = CampaignResult(
+                {name: self.pipelines[name]._result(stages[name])
+                 for name in self.pipelines})
+        sink = telemetry.get_telemetry()
+        if sink is not None and sink.directory:
+            sink.flush()
+        return result
 
     def _run_batches(self, batches: Dict[str, List[EvaluationJob]],
                      apply) -> None:

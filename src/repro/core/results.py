@@ -52,6 +52,8 @@ import numpy as np
 
 from .. import nn
 from ..abr.networks import fast_inference_enabled
+from ..log import get_logger
+from . import telemetry
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from .design import Design
@@ -63,6 +65,8 @@ __all__ = [
     "context_fingerprint",
     "result_key",
 ]
+
+logger = get_logger("results")
 
 #: Version prefix mixed into every key; bump when the record layout changes.
 #: v2: the kernel-compiler toggle and numerics mode joined the context.
@@ -181,6 +185,11 @@ class ResultStore:
         #: Lookup statistics since construction (for reports and tests).
         self.hits = 0
         self.misses = 0
+        #: Records peeked successfully but discarded because a later seed in
+        #: the same all-or-nothing batch probe was absent.
+        self.partial_probes = 0
+        #: Records written since construction.
+        self.puts = 0
 
     # ------------------------------------------------------------------ #
     def _path(self, key: str) -> str:
@@ -201,8 +210,10 @@ class ResultStore:
         run = self.peek_run(key)
         if run is None:
             self.misses += 1
+            telemetry.counter("store.miss")
         else:
             self.hits += 1
+            telemetry.counter("store.hit")
         return run
 
     def peek_run(self, key: str) -> Optional["TrainingRun"]:
@@ -222,6 +233,13 @@ class ResultStore:
         except (OSError, json.JSONDecodeError):
             return None
         payload = record["run"]
+        # ``checkpoint_metrics`` joined the payload with the telemetry layer;
+        # it is additive and optional (records written before it load as
+        # None), so the schema version — and hence every key — is unchanged.
+        metrics = payload.get("checkpoint_metrics")
+        if metrics is not None:
+            metrics = {name: [float(v) for v in values]
+                       for name, values in metrics.items()}
         return TrainingRun(
             seed=int(payload["seed"]),
             reward_history=[float(r) for r in payload["reward_history"]],
@@ -229,6 +247,7 @@ class ResultStore:
             checkpoint_scores=[float(s) for s in payload["checkpoint_scores"]],
             early_stopped=bool(payload["early_stopped"]),
             last_k_checkpoints=payload["last_k_checkpoints"],
+            checkpoint_metrics=metrics,
         )
 
     def put_run(self, key: str, run: "TrainingRun",
@@ -246,6 +265,10 @@ class ResultStore:
                 "last_k_checkpoints": run.last_k_checkpoints,
             },
         }
+        if run.checkpoint_metrics is not None:
+            record["run"]["checkpoint_metrics"] = {
+                name: list(values)
+                for name, values in run.checkpoint_metrics.items()}
         path = self._path(key)
         os.makedirs(os.path.dirname(path), exist_ok=True)
         handle = tempfile.NamedTemporaryFile(
@@ -261,7 +284,11 @@ class ResultStore:
             except OSError:
                 pass
             raise
+        self.puts += 1
+        telemetry.counter("store.put")
+        logger.debug("stored run for seed %d under %s…", run.seed, key[:12])
 
     # ------------------------------------------------------------------ #
     def statistics(self) -> Dict[str, int]:
-        return {"records": len(self), "hits": self.hits, "misses": self.misses}
+        return {"records": len(self), "hits": self.hits, "misses": self.misses,
+                "partial_probes": self.partial_probes, "puts": self.puts}

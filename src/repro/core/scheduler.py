@@ -43,6 +43,8 @@ import numpy as np
 
 from .. import nn
 from ..abr.networks import fast_inference_enabled, set_fast_inference
+from ..log import get_logger
+from . import telemetry
 from .parallel import ParallelConfig, parallel_map
 from .results import ResultStore, context_fingerprint, design_fingerprint, result_key
 
@@ -60,6 +62,8 @@ __all__ = [
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+logger = get_logger("scheduler")
 
 
 @dataclass(frozen=True)
@@ -114,6 +118,16 @@ def protocol_score(runs: Sequence["TrainingRun"], last_k: int) -> float:
     return float(np.median(finite)) if finite else float("-inf")
 
 
+def _job_label(job: EvaluationJob) -> str:
+    """Human-readable design label for telemetry attributes."""
+    parts = []
+    if job.state_design is not None:
+        parts.append(f"state:{job.state_design.design_id}")
+    if job.network_design is not None:
+        parts.append(f"net:{job.network_design.design_id}")
+    return "+".join(parts) or "original"
+
+
 # --------------------------------------------------------------------------- #
 # Worker payloads.  Spawned workers start from a fresh interpreter, so the
 # process-global engine toggles — tensor dtype, fast inference, the kernel
@@ -137,15 +151,34 @@ def _apply_engine_state(state: Tuple[str, bool, bool, str]) -> None:
 class _JobTask:
     job: EvaluationJob
     engine: Tuple[str, bool, bool, str]
+    #: Whether the parent has telemetry enabled.  Worker processes start
+    #: from a fresh interpreter with telemetry off; when set, the task runs
+    #: inside :func:`telemetry.capture` and ships its events back with the
+    #: result for the parent's order-preserving merge.  The serial path runs
+    #: the exact same capture so event streams match across worker counts.
+    capture_telemetry: bool = False
 
 
-def _run_job_task(task: _JobTask) -> List["TrainingRun"]:
+def _run_job_task(
+        task: _JobTask,
+) -> Tuple[List["TrainingRun"], Optional[List[telemetry.TelemetryEvent]]]:
     """Worker entry point: train one job's seed batch, in lockstep if possible."""
     _apply_engine_state(task.engine)
     job = task.job
-    return job.trainer.run_seeds(job.state_design, job.network_design,
-                                 list(job.seeds),
-                                 early_stopping=job.early_stopping)
+    if not task.capture_telemetry:
+        runs = job.trainer.run_seeds(job.state_design, job.network_design,
+                                     list(job.seeds),
+                                     early_stopping=job.early_stopping)
+        return runs, None
+    with telemetry.capture() as local:
+        with local.span("job.train", {
+                "environment": job.environment,
+                "design": _job_label(job),
+                "seeds": ",".join(str(seed) for seed in job.seeds)}):
+            runs = job.trainer.run_seeds(job.state_design, job.network_design,
+                                         list(job.seeds),
+                                         early_stopping=job.early_stopping)
+    return runs, local.events
 
 
 @dataclass(frozen=True)
@@ -153,11 +186,19 @@ class _MapTask:
     fn: Callable[[Any], Any]
     item: Any
     engine: Tuple[str, bool, bool, str]
+    capture_telemetry: bool = False
 
 
-def _run_map_task(task: _MapTask) -> Any:
+def _run_map_task(
+        task: _MapTask,
+) -> Tuple[Any, Optional[List[telemetry.TelemetryEvent]]]:
     _apply_engine_state(task.engine)
-    return task.fn(task.item)
+    if not task.capture_telemetry:
+        return task.fn(task.item), None
+    with telemetry.capture() as local:
+        with local.span("job.map"):
+            result = task.fn(task.item)
+    return result, local.events
 
 
 class CampaignScheduler:
@@ -193,6 +234,10 @@ class CampaignScheduler:
         per_trainer = self._contexts.setdefault(job.trainer, {})
         fingerprint = per_trainer.get(variant)
         if fingerprint is None:
+            if per_trainer:
+                # A fingerprint existed but for a different engine variant:
+                # the memoized context was invalidated by a dtype/toggle flip.
+                telemetry.counter("store.context_invalidated")
             fingerprint = context_fingerprint(job.trainer, job.environment)
             per_trainer[variant] = fingerprint
         return fingerprint
@@ -223,9 +268,14 @@ class CampaignScheduler:
             run = self.store.peek_run(key)
             if run is None:
                 self.store.misses += 1
+                self.store.partial_probes += len(runs)
+                telemetry.counter("store.miss")
+                if runs:
+                    telemetry.counter("store.partial_probe", len(runs))
                 return None
             runs.append(run)
         self.store.hits += len(runs)
+        telemetry.counter("store.hit", len(runs))
         for run in runs:
             run.last_k_checkpoints = job.trainer.config.last_k_checkpoints
         return runs
@@ -314,7 +364,17 @@ class CampaignScheduler:
         lockstep has nothing to lose.  Scores are bit-identical to running
         every job serially in submission order.
         """
+        tel = telemetry.get_telemetry()
         jobs = list(jobs)
+        if tel is not None:
+            tel.counter("scheduler.jobs.submitted", len(jobs))
+        with telemetry.span("scheduler.run",
+                            {"jobs": len(jobs)} if tel is not None else None):
+            results = self._run_batch(jobs, tel)
+        return results
+
+    def _run_batch(self, jobs: List[EvaluationJob],
+                   tel: Optional[telemetry.Telemetry]) -> List[JobResult]:
         results: List[Optional[JobResult]] = [None] * len(jobs)
         pending: List[Tuple[int, EvaluationJob, Optional[List[str]]]] = []
         aliases: Dict[int, int] = {}  # duplicate index -> primary index
@@ -325,11 +385,15 @@ class CampaignScheduler:
                 primary = primary_of.get(dedupe)
                 if primary is not None:
                     aliases[index] = primary
+                    if tel is not None:
+                        tel.counter("scheduler.jobs.deduplicated")
                     continue
                 primary_of[dedupe] = index
             keys = self._job_keys(job)
             cached_runs = self._lookup(job, keys)
             if cached_runs is not None:
+                if tel is not None:
+                    tel.counter("scheduler.jobs.store_hit")
                 score = protocol_score(cached_runs,
                                        job.trainer.config.last_k_checkpoints)
                 results[index] = JobResult(job=job, runs=cached_runs,
@@ -337,25 +401,58 @@ class CampaignScheduler:
             else:
                 pending.append((index, job, keys))
 
+        logger.debug(
+            "scheduler pass: %d job(s) submitted, %d cached, %d deduplicated, "
+            "%d to train", len(jobs),
+            sum(1 for r in results if r is not None and r.cached),
+            len(aliases), len(pending))
+
         if pending:
             engine = _engine_state()
             split = self.parallel.resolved_workers() > 1
             subjobs: List[EvaluationJob] = []
-            spans: List[int] = []
+            widths: List[int] = []
             for _, job, _ in pending:
-                parts = ([replace(job, seeds=(seed,)) for seed in job.seeds]
-                         if split and self._splits_without_cost(job)
-                         else [job])
+                if split and self._splits_without_cost(job):
+                    parts = [replace(job, seeds=(seed,)) for seed in job.seeds]
+                    if tel is not None:
+                        tel.counter("scheduler.jobs.split_per_seed",
+                                    attrs={"design": _job_label(job),
+                                           "environment": job.environment})
+                else:
+                    parts = [job]
                 subjobs.extend(parts)
-                spans.append(len(parts))
-            tasks = [_JobTask(sub, engine) for sub in subjobs]
-            flat = parallel_map(_run_job_task, tasks, self.parallel)
+                widths.append(len(parts))
+            tasks = [_JobTask(sub, engine, tel is not None)
+                     for sub in subjobs]
+            with telemetry.span(
+                    "scheduler.execute",
+                    {"tasks": len(tasks)} if tel is not None else None):
+                flat = parallel_map(_run_job_task, tasks, self.parallel)
+            if tel is not None:
+                # Order-preserving merge of worker-captured events: the same
+                # contract results get, so serial and N-worker executions
+                # yield identical event streams modulo timestamps and pids.
+                for _, events in flat:
+                    if events:
+                        tel.extend(events)
             cursor = 0
-            for (index, job, keys), span in zip(pending, spans):
-                runs = [run for chunk in flat[cursor:cursor + span]
+            for (index, job, keys), width in zip(pending, widths):
+                runs = [run for chunk, _ in flat[cursor:cursor + width]
                         for run in chunk]
-                cursor += span
-                self._persist(job, keys, runs)
+                cursor += width
+                if keys is not None:
+                    with telemetry.span(
+                            "job.persist",
+                            {"design": _job_label(job),
+                             "environment": job.environment}
+                            if tel is not None else None):
+                        self._persist(job, keys, runs)
+                if tel is not None:
+                    tel.counter("scheduler.jobs.trained")
+                    if keys is not None:
+                        tel.counter("scheduler.jobs.persisted")
+                    self._record_training_series(tel, job, runs)
                 score = protocol_score(runs,
                                        job.trainer.config.last_k_checkpoints)
                 results[index] = JobResult(job=job, runs=runs, score=score)
@@ -368,6 +465,19 @@ class CampaignScheduler:
                                        deduplicated=True)
         return results  # type: ignore[return-value]
 
+    @staticmethod
+    def _record_training_series(tel: telemetry.Telemetry, job: EvaluationJob,
+                                runs: Sequence["TrainingRun"]) -> None:
+        """Emit per-checkpoint training-metric series for freshly trained runs."""
+        label = _job_label(job)
+        for run in runs:
+            metrics = run.checkpoint_metrics or {}
+            attrs = {"environment": job.environment, "design": label,
+                     "seed": run.seed}
+            for name, values in metrics.items():
+                for epoch, value in zip(run.checkpoint_epochs, values):
+                    tel.series(f"train.{name}", epoch, value, attrs=attrs)
+
     # ------------------------------------------------------------------ #
     def map_items(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
         """Order-preserving fan-out for auxiliary (non-protocol) workloads.
@@ -378,6 +488,13 @@ class CampaignScheduler:
         inherit the tensor dtype and every engine toggle exactly as
         evaluation jobs do — but results bypass the store.
         """
+        tel = telemetry.get_telemetry()
         engine = _engine_state()
-        tasks = [_MapTask(fn, item, engine) for item in items]
-        return parallel_map(_run_map_task, tasks, self.parallel)
+        tasks = [_MapTask(fn, item, engine, tel is not None)
+                 for item in items]
+        flat = parallel_map(_run_map_task, tasks, self.parallel)
+        if tel is not None:
+            for _, events in flat:
+                if events:
+                    tel.extend(events)
+        return [result for result, _ in flat]

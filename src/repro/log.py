@@ -1,0 +1,63 @@
+"""Logging for the repro package.
+
+All status reporting (progress lines, cache statistics, fallback notices)
+goes through stdlib :mod:`logging` under the ``repro`` logger hierarchy so
+the CLI's ``--verbose``/``--quiet`` flags control it uniformly.  User-facing
+*results* — summary tables, scores, the store hit/miss line printed after a
+campaign — stay on stdout via ``print``; only commentary lives here.
+
+Library code never configures handlers (standard practice); the CLI calls
+:func:`configure` once per invocation.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional, TextIO
+
+__all__ = ["LOGGER_NAME", "get_logger", "configure"]
+
+#: Root of the package's logger hierarchy.
+LOGGER_NAME = "repro"
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy (e.g. ``repro.scheduler``)."""
+    if name:
+        return logging.getLogger(f"{LOGGER_NAME}.{name}")
+    return logging.getLogger(LOGGER_NAME)
+
+
+def configure(verbosity: int = 0,
+              stream: Optional[TextIO] = None) -> logging.Logger:
+    """Configure the ``repro`` logger for a CLI invocation.
+
+    Args:
+        verbosity: ``< 0`` shows warnings only (``--quiet``), ``0`` shows
+            progress at INFO (the default), ``> 0`` enables DEBUG detail
+            (``--verbose``).
+        stream: Destination for log lines; defaults to stderr so stdout
+            stays reserved for result tables and machine-readable output.
+
+    Idempotent: repeated calls adjust the level without stacking handlers.
+    """
+    logger = logging.getLogger(LOGGER_NAME)
+    if verbosity < 0:
+        level = logging.WARNING
+    elif verbosity == 0:
+        level = logging.INFO
+    else:
+        level = logging.DEBUG
+    logger.setLevel(level)
+    logger.propagate = False
+    handler = next((h for h in logger.handlers
+                    if getattr(h, "_repro_cli", False)), None)
+    if handler is None:
+        handler = logging.StreamHandler(stream or sys.stderr)
+        handler.setFormatter(logging.Formatter("[%(name)s] %(message)s"))
+        handler._repro_cli = True  # type: ignore[attr-defined]
+        logger.addHandler(handler)
+    elif stream is not None:
+        handler.setStream(stream)
+    return logger

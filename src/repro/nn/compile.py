@@ -1070,9 +1070,22 @@ def plan_for(network) -> Optional[CompiledPlan]:
     except CompileError as exc:
         network.__dict__["_compile_cache"] = exc
         _log_unlowered(network, str(exc))
+        _count_compile("compile.fallback",
+                       {"network": type(network).__name__,
+                        "reason": str(exc)})
         return None
     network.__dict__["_compile_cache"] = plan
+    _count_compile("compile.lowered",
+                   {"network": type(network).__name__})
     return plan
+
+
+def _count_compile(name: str, attrs) -> None:
+    # Imported lazily: ``repro.core`` imports this module transitively, so a
+    # top-level import would create a cycle.  plan_for results are cached on
+    # the network instance, so this only runs once per (network, outcome).
+    from ..core import telemetry
+    telemetry.counter(name, attrs=attrs)
 
 
 # --------------------------------------------------------------------------- #

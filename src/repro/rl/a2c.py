@@ -10,7 +10,7 @@ value update.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -27,7 +27,18 @@ from .rollout import Trajectory, collect_episode, discounted_returns
 from .schedules import ConstantSchedule, LinearSchedule
 
 __all__ = ["A2CConfig", "EpochStats", "A2CTrainer", "MultiSeedA2CTrainer",
+           "TRAINING_METRIC_NAMES",
            "evaluate_agent", "evaluate_agent_batched"]
+
+#: The scalar training metrics snapshotted at every checkpoint and attached
+#: to :class:`~repro.core.evaluation.TrainingRun` (one series per name,
+#: aligned with ``checkpoint_epochs``).
+TRAINING_METRIC_NAMES = ("entropy", "actor_loss", "critic_loss", "grad_norm")
+
+
+def _stats_metrics(stats: "EpochStats") -> "Dict[str, float]":
+    return {"entropy": stats.entropy, "actor_loss": stats.actor_loss,
+            "critic_loss": stats.critic_loss, "grad_norm": stats.grad_norm}
 
 
 @dataclass(frozen=True)
@@ -146,6 +157,15 @@ class A2CTrainer:
         classifier consumes (§2.2 of the paper).
         """
         return [stats.episode_reward for stats in self.history]
+
+    def checkpoint_metrics(self) -> Dict[str, float]:
+        """Latest epoch's scalar training metrics, for checkpoint snapshots.
+
+        Keys are :data:`TRAINING_METRIC_NAMES`; NaN before the first epoch.
+        """
+        if not self.history:
+            return {name: float("nan") for name in TRAINING_METRIC_NAMES}
+        return _stats_metrics(self.history[-1])
 
     # ------------------------------------------------------------------ #
     def train_epoch(self) -> EpochStats:
@@ -466,6 +486,12 @@ class MultiSeedA2CTrainer:
     def reward_histories(self) -> List[List[float]]:
         """Per-seed episode-reward trajectories (cf. ``A2CTrainer.reward_history``)."""
         return [[stats.episode_reward for stats in history]
+                for history in self.histories]
+
+    def checkpoint_metrics(self) -> List[Dict[str, float]]:
+        """Per-seed latest-epoch training metrics (cf. ``A2CTrainer``)."""
+        return [_stats_metrics(history[-1]) if history
+                else {name: float("nan") for name in TRAINING_METRIC_NAMES}
                 for history in self.histories]
 
     # ------------------------------------------------------------------ #
