@@ -7,11 +7,15 @@
 #   make test           - the full tier-1 suite (tests + benchmark regenerations)
 #   make bench          - the evaluation-engine benchmark, refreshing BENCH_baseline.json
 #   make campaign-smoke - multi-environment examples + CLI campaign at tiny scale
+#   make chaos-smoke    - the tiny campaign under deterministic fault injection:
+#                         every job raises once, workers crash, a store write is
+#                         torn and a lease is contended -- the run must heal
+#                         (exit 0, zero quarantined) purely via retries
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: smoke test bench bench-generated campaign-smoke
+.PHONY: smoke test bench bench-generated campaign-smoke chaos-smoke
 
 smoke:
 	$(PYTHON) -m pytest -q -m "not slow"
@@ -49,3 +53,32 @@ campaign-smoke:
 	    --checkpoint-interval 2 --num-seeds 1 --no-early-stopping \
 	    --store .campaign-smoke-store
 	rm -rf .campaign-smoke-store .campaign-smoke-telemetry .campaign-smoke-trace.json
+
+# Chaos smoke: the tiny two-environment campaign again, but with the
+# deterministic fault harness armed -- every job's first attempt raises, one
+# worker process is killed outright, every record's first write is torn, and
+# every key's first lease claim finds a stale foreign holder.  The campaign
+# must nevertheless exit 0 with every job healed by retries: the telemetry
+# report is asserted to show retries > 0 and zero quarantined jobs or corrupt
+# records.  This is the CI guard that the fault-tolerance layer keeps working
+# end to end, not just under unit tests.
+chaos-smoke:
+	rm -rf .chaos-smoke-store .chaos-smoke-telemetry
+	$(PYTHON) -m repro campaign --environments fcc starlink --num-designs 2 \
+	    --dataset-scale 0.02 --num-chunks 6 --train-epochs 6 \
+	    --checkpoint-interval 2 --num-seeds 1 --no-early-stopping \
+	    --workers 2 --max-retries 3 \
+	    --faults "job.exception:*:1,job.crash:starlink:1,store.torn_write:*:1,store.lease_hold:*:1:120" \
+	    --store .chaos-smoke-store --telemetry .chaos-smoke-telemetry
+	$(PYTHON) -c "import json, sys; \
+	    from repro.core import telemetry; \
+	    events = telemetry.load_events('.chaos-smoke-telemetry'); \
+	    f = telemetry.summarize(events)['faults']; \
+	    print(json.dumps(f, indent=2)); \
+	    assert f['retries'] > 0, 'fault plan never fired'; \
+	    assert f['torn_writes'] > 0, 'torn-write site never fired'; \
+	    assert f['leases_stolen'] > 0, 'stale-lease site never fired'; \
+	    assert f['quarantined'] == 0, 'chaos run lost jobs'; \
+	    assert f['corrupt_records'] == 0, 'chaos run corrupted the store'; \
+	    print('chaos smoke OK: all injected faults healed')"
+	rm -rf .chaos-smoke-store .chaos-smoke-telemetry

@@ -53,7 +53,7 @@ from . import nn
 from .abr import make_baseline, run_session, synthetic_video
 from .analysis import render_table
 from .core import (EvaluationConfig, NadaCampaign, NadaConfig, NadaPipeline,
-                   ResultStore, telemetry)
+                   ResultStore, faults, telemetry)
 from .log import configure as configure_logging, get_logger
 from .rl import A2CConfig
 from .traces import ENVIRONMENTS, build_dataset, list_environments, save_traceset
@@ -137,6 +137,23 @@ def _add_campaign_flags(parser: argparse.ArgumentParser) -> None:
                              "fan-out; -1 uses every CPU, 1 runs serially. "
                              "Each job still trains its seeds in lockstep "
                              "inside its worker.")
+    parser.add_argument("--max-retries", type=int, default=2,
+                        help="retries for a job that raises, times out or "
+                             "loses its worker before it is quarantined; the "
+                             "campaign completes without quarantined jobs "
+                             "and exits non-zero")
+    parser.add_argument("--job-timeout", type=_positive_float, default=None,
+                        metavar="SECONDS",
+                        help="kill and retry a job running longer than this "
+                             "inside a pool worker (only enforced with "
+                             "--workers > 1)")
+    parser.add_argument("--faults", metavar="SPEC", default=None,
+                        help="inject deterministic faults for resilience "
+                             "testing: comma-separated "
+                             "'site[:match[:times[:delay]]]' elements and an "
+                             "optional 'seed=N' (sites: job.exception, "
+                             "job.crash, job.timeout, job.interrupt, "
+                             "store.torn_write, store.lease_hold)")
     parser.add_argument("--dtype", choices=["float32", "float64"], default="float64",
                         help="tensor dtype: float64 (accuracy-first default) or "
                              "float32 (fast path)")
@@ -252,6 +269,8 @@ def _campaign_config(args: argparse.Namespace, environment: str) -> NadaConfig:
         use_early_stopping=not args.no_early_stopping,
         seed=args.seed,
         workers=args.workers,
+        max_retries=args.max_retries,
+        job_timeout=args.job_timeout,
         store_dir=args.store,
         telemetry_dir=args.telemetry,
     )
@@ -262,6 +281,22 @@ def _apply_engine_flags(args: argparse.Namespace) -> None:
     nn.set_default_dtype(args.dtype)
     nn.set_compilation(not args.no_compile)
     nn.set_numerics(args.numerics)
+
+
+def _install_faults(args: argparse.Namespace) -> None:
+    """Activate the ``--faults`` plan for chaos/resilience testing."""
+    if getattr(args, "faults", None):
+        faults.install_plan(faults.FaultPlan.from_spec(args.faults))
+        logger.warning("fault injection active: %s", args.faults)
+
+
+def _report_failures(scheduler) -> int:
+    """Print the quarantined-job table to stderr; non-zero when any failed."""
+    summary = scheduler.failure_summary() if scheduler is not None else None
+    if summary is None:
+        return 0
+    print(summary, file=sys.stderr)
+    return 1
 
 
 def _start_telemetry(args: argparse.Namespace) -> Optional[telemetry.Telemetry]:
@@ -293,6 +328,7 @@ def _finish_telemetry(args: argparse.Namespace,
 def _run_campaign(args: argparse.Namespace, environments: List[str]) -> int:
     """Sweep the named environments through one scheduled work-graph."""
     _apply_engine_flags(args)
+    _install_faults(args)
     sink = _start_telemetry(args)
     store = ResultStore(args.store) if args.store else None
     pipelines = {}
@@ -311,7 +347,16 @@ def _run_campaign(args: argparse.Namespace, environments: List[str]) -> int:
                 "designs=%d/component, workers=%s)",
                 ", ".join(environments), args.target, args.llm,
                 args.num_designs, args.workers)
-    result = campaign.run()
+    try:
+        result = campaign.run()
+    except KeyboardInterrupt:
+        logger.warning("campaign interrupted; completed results were "
+                       "persisted and the next run resumes from the store")
+        _report_failures(scheduler)
+        _finish_telemetry(args, sink)
+        return 130
+    finally:
+        faults.clear_plan()
     print(result.summary())
     if getattr(args, "show_code", False):
         for environment in environments:
@@ -325,13 +370,14 @@ def _run_campaign(args: argparse.Namespace, environments: List[str]) -> int:
         print(f"result store      : {stats['records']} records "
               f"({stats['hits']} hits, {stats['misses']} misses this run)")
     _finish_telemetry(args, sink)
-    return 0
+    return _report_failures(scheduler)
 
 
 def _command_run(args: argparse.Namespace) -> int:
     if args.environment == "all":
         return _run_campaign(args, list_environments())
     _apply_engine_flags(args)
+    _install_faults(args)
     sink = _start_telemetry(args)
     config = _campaign_config(args, args.environment)
     pipeline = NadaPipeline.for_environment(
@@ -340,13 +386,22 @@ def _command_run(args: argparse.Namespace) -> int:
     logger.info("running Nada on %s (target=%s, llm=%s, designs=%d, "
                 "epochs=%d)", args.environment, args.target, args.llm,
                 args.num_designs, config.evaluation.train_epochs)
-    result = pipeline.run()
+    try:
+        result = pipeline.run()
+    except KeyboardInterrupt:
+        logger.warning("campaign interrupted; completed results were "
+                       "persisted and the next run resumes from the store")
+        _report_failures(pipeline.scheduler)
+        _finish_telemetry(args, sink)
+        return 130
+    finally:
+        faults.clear_plan()
     print(result.summary())
     if args.show_code and result.best_design is not None:
         print()
         print(result.best_design.code)
     _finish_telemetry(args, sink)
-    return 0
+    return _report_failures(pipeline.scheduler)
 
 
 def _command_campaign(args: argparse.Namespace) -> int:

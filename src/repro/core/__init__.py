@@ -33,12 +33,15 @@ from .filters import (
     NormalizationCheck,
     random_observation,
 )
+from .faults import (FaultPlan, FaultRule, InjectedFault, clear_plan,
+                     inject, install_plan)
 from .generation import DesignGenerator, GenerationConfig
-from .parallel import ParallelConfig, effective_workers, parallel_map
+from .parallel import (ParallelConfig, TaskOutcome, effective_workers,
+                       parallel_map, run_resilient)
 from .pipeline import (CampaignResult, NadaCampaign, NadaConfig, NadaPipeline,
                        NadaResult)
-from .results import (ResultStore, context_fingerprint, design_fingerprint,
-                      result_key)
+from .results import (Lease, ResultStore, context_fingerprint,
+                      design_fingerprint, result_key)
 from .scheduler import (CampaignScheduler, EvaluationJob, JobResult,
                         protocol_score)
 from . import telemetry
@@ -92,10 +95,15 @@ __all__ = [
     "EvaluationConfig", "TrainingRun", "instantiate_agent", "DesignTrainer",
     "TestScoreProtocol",
     # parallel
-    "ParallelConfig", "parallel_map", "effective_workers",
+    "ParallelConfig", "TaskOutcome", "parallel_map", "run_resilient",
+    "effective_workers",
+    # faults
+    "FaultPlan", "FaultRule", "InjectedFault", "install_plan", "clear_plan",
+    "inject",
     # scheduler + result store
     "CampaignScheduler", "EvaluationJob", "JobResult", "protocol_score",
-    "ResultStore", "design_fingerprint", "context_fingerprint", "result_key",
+    "ResultStore", "Lease", "design_fingerprint", "context_fingerprint",
+    "result_key",
     # telemetry
     "telemetry", "Telemetry", "TelemetryEvent",
     # pipeline

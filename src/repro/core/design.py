@@ -36,6 +36,8 @@ class DesignStatus(str, enum.Enum):
     PENDING_EVALUATION = "pending_evaluation"
     EARLY_STOPPED = "early_stopped"
     EVALUATED = "evaluated"
+    #: Evaluation kept failing past the retry budget and was quarantined.
+    FAILED = "failed"
 
 
 _id_counter = itertools.count()

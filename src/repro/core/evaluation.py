@@ -414,10 +414,29 @@ class TestScoreProtocol:
         design.finalize(score)
         return score
 
+    @staticmethod
+    def _record_failed(design: Design, result: JobResult) -> float:
+        """Bookkeeping for a quarantined job: the design is marked FAILED.
+
+        ``_record_design`` must not run here — its ``all(early_stopped)``
+        check is vacuously true over the empty run list a fully failed job
+        carries, which would mislabel the design as early-stopped.
+        """
+        design.status = DesignStatus.FAILED
+        design.rejection_reason = result.error or "evaluation failed"
+        design.metadata["evaluation_attempts"] = result.attempts
+        return float("-inf")
+
     def record_results(self, designs: Sequence[Design],
                        results: Sequence[JobResult]) -> List[float]:
-        """Apply one scheduled batch's results to the designs, in order."""
+        """Apply one scheduled batch's results to the designs, in order.
+
+        A quarantined result marks its design ``FAILED`` (scored ``-inf``)
+        instead of feeding partial runs through the early-stopping
+        bookkeeping.
+        """
         return [self._record_design(design, result.score, result.runs)
+                if result.ok else self._record_failed(design, result)
                 for design, result in zip(designs, results)]
 
     def score_design(self, design: Design,

@@ -21,15 +21,18 @@ from __future__ import annotations
 
 import os
 import pickle
+import time
 import warnings
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, TypeVar
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, TypeVar
 
 from ..log import get_logger
 from . import telemetry
 
-__all__ = ["ParallelConfig", "effective_workers", "parallel_map"]
+__all__ = ["ParallelConfig", "TaskOutcome", "effective_workers",
+           "parallel_map", "run_resilient"]
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -38,6 +41,9 @@ logger = get_logger("parallel")
 
 #: Environment variable consulted when ``max_workers`` is None.
 WORKERS_ENV_VAR = "REPRO_WORKERS"
+
+#: Seconds between polls of the worker pool in the resilient driver.
+_POLL_INTERVAL_S = 0.05
 
 
 @dataclass(frozen=True)
@@ -50,13 +56,51 @@ class ParallelConfig:
             serially in-process.
         chunk_threshold: Fan out only when there are at least this many work
             items; tiny sweeps are not worth the process start-up cost.
+        max_retries: How many times :func:`run_resilient` re-runs a failing
+            work item (raise, worker death, timeout) before quarantining it.
+            0 fails fast on the first error.
+        backoff_base_s: First retry delay; each further retry multiplies it
+            by ``backoff_factor`` (exponential backoff).
+        backoff_factor: Growth factor of the retry delay.
+        job_timeout: Seconds one work item may run inside a pool worker
+            before it is counted as failed and its worker recycled.  None
+            disables the limit.  Only enforced under process fan-out — a
+            serial in-process job cannot be preempted.
     """
 
     max_workers: Optional[int] = None
     chunk_threshold: int = 2
+    max_retries: int = 2
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    job_timeout: Optional[float] = None
 
     def resolved_workers(self) -> int:
         return effective_workers(self.max_workers)
+
+    def backoff_s(self, failures: int) -> float:
+        """Delay before the ``failures``-th retry (1-based)."""
+        return self.backoff_base_s * (self.backoff_factor ** max(0, failures - 1))
+
+
+@dataclass
+class TaskOutcome:
+    """Terminal state of one resilient work item.
+
+    ``status`` is ``"ok"`` (``value`` holds the result), ``"quarantined"``
+    (every attempt failed; ``error`` holds the last failure) or
+    ``"interrupted"`` (a shutdown request arrived before the item could
+    finish).
+    """
+
+    value: Any = None
+    status: str = "ok"
+    error: Optional[str] = None
+    attempts: int = 1
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
 
 
 def effective_workers(max_workers: Optional[int] = None) -> int:
@@ -108,3 +152,349 @@ def parallel_map(fn: Callable[[T], R], items: Sequence[T],
             if tel is not None:
                 tel.counter("parallel.serial_fallback")
             return [fn(item) for item in items]
+
+
+# --------------------------------------------------------------------------- #
+# Resilient execution: retry/backoff, pool respawn, timeouts, quarantine.
+# --------------------------------------------------------------------------- #
+def run_resilient(fn: Callable[[T, int], R], items: Sequence[T],
+                  config: Optional[ParallelConfig] = None,
+                  should_stop: Optional[Callable[[], bool]] = None,
+                  heartbeat: Optional[Callable[[], None]] = None,
+                  ) -> List[TaskOutcome]:
+    """Map ``fn(item, attempt)`` over ``items`` with failure isolation.
+
+    The fault-tolerant sibling of :func:`parallel_map`, used by the campaign
+    scheduler.  One raising, hanging or crashing work item no longer poisons
+    the batch:
+
+    * an item whose attempt raises is retried with exponential backoff up to
+      ``config.max_retries`` times, then **quarantined** — the batch
+      completes with a per-item :class:`TaskOutcome` instead of a traceback;
+    * a worker death (``BrokenProcessPool``) charges an attempt to the items
+      that were running, respawns the pool, and resubmits everything else
+      uncharged;
+    * an item exceeding ``config.job_timeout`` inside a worker is failed,
+      its (possibly wedged) pool recycled, and the item retried;
+    * ``should_stop`` (polled between attempts and pool ticks) requests a
+      graceful shutdown: running work is drained, unstarted work is marked
+      ``"interrupted"``, and whatever completed is returned.
+
+    ``fn`` receives the zero-based attempt index alongside the item so
+    deterministic fault plans can key off it.  Outcomes preserve submission
+    order, and retried attempts run exactly the code a first attempt runs,
+    so recovered results are bit-identical to undisturbed ones.
+    """
+    config = config or ParallelConfig()
+    items = list(items)
+    workers = config.resolved_workers()
+    tel = telemetry.get_telemetry()
+    attrs = ({"items": len(items), "workers": workers}
+             if tel is not None else None)
+    if workers <= 1 or len(items) < max(config.chunk_threshold, 2):
+        with telemetry.span("parallel.map", attrs):
+            return _run_serial(fn, items, config, should_stop, heartbeat)
+    workers = min(workers, len(items))
+    if attrs is not None:
+        attrs["workers"] = workers
+    with telemetry.span("parallel.map", attrs):
+        driver = _ResilientDriver(fn, items, config, workers,
+                                  should_stop=should_stop,
+                                  heartbeat=heartbeat)
+        try:
+            return driver.run()
+        except (OSError, PermissionError, pickle.PicklingError,
+                AttributeError) as exc:
+            logger.warning("process pool unavailable (%r); "
+                           "falling back to serial execution", exc)
+            warnings.warn(
+                f"process pool unavailable ({exc!r}); "
+                f"falling back to serial execution")
+            if tel is not None:
+                tel.counter("parallel.serial_fallback")
+            return _run_serial(fn, items, config, should_stop, heartbeat)
+
+
+def _describe(exc: BaseException) -> str:
+    return f"{type(exc).__name__}: {exc}"
+
+
+def _run_serial(fn: Callable[[T, int], R], items: Sequence[T],
+                config: ParallelConfig,
+                should_stop: Optional[Callable[[], bool]],
+                heartbeat: Optional[Callable[[], None]] = None,
+                ) -> List[TaskOutcome]:
+    """In-process execution with the same retry/quarantine semantics.
+
+    ``heartbeat`` fires between items and attempts — the finest granularity
+    available without preemption, which bounds lease staleness to one
+    item's runtime.
+    """
+    outcomes: List[TaskOutcome] = []
+    interrupted = False
+    for index, item in enumerate(items):
+        if heartbeat is not None:
+            heartbeat()
+        if interrupted or (should_stop is not None and should_stop()):
+            outcomes.append(TaskOutcome(status="interrupted", attempts=0,
+                                        error="shutdown requested"))
+            interrupted = True
+            continue
+        attempt = 0
+        while True:
+            try:
+                value = fn(item, attempt)
+            except KeyboardInterrupt:
+                # ^C (or SIGTERM translated by the scheduler) mid-job: the
+                # current item is lost, the rest is drained as interrupted,
+                # and the caller persists whatever completed.
+                outcomes.append(TaskOutcome(status="interrupted",
+                                            attempts=attempt + 1,
+                                            error="interrupted mid-job"))
+                interrupted = True
+                break
+            except Exception as exc:  # noqa: BLE001 - isolation boundary
+                attempt += 1
+                logger.warning("work item %d failed (attempt %d/%d): %s",
+                               index, attempt, config.max_retries + 1,
+                               _describe(exc))
+                if should_stop is not None and should_stop():
+                    outcomes.append(TaskOutcome(status="interrupted",
+                                                attempts=attempt,
+                                                error=_describe(exc)))
+                    interrupted = True
+                    break
+                if attempt > config.max_retries:
+                    outcomes.append(TaskOutcome(status="quarantined",
+                                                attempts=attempt,
+                                                error=_describe(exc)))
+                    break
+                time.sleep(config.backoff_s(attempt))
+                if heartbeat is not None:
+                    heartbeat()
+            else:
+                outcomes.append(TaskOutcome(value=value,
+                                            attempts=attempt + 1))
+                break
+    return outcomes
+
+
+class _ResilientDriver:
+    """Pool-backed engine behind :func:`run_resilient`.
+
+    Tracks per-item attempt counts and backoff deadlines, stamps when each
+    future actually starts running (the only honest base for a job timeout
+    and for charging pool crashes to the right items), and rebuilds the
+    executor whenever it breaks or wedges.
+    """
+
+    def __init__(self, fn: Callable[[T, int], R], items: List[T],
+                 config: ParallelConfig, workers: int,
+                 should_stop: Optional[Callable[[], bool]] = None,
+                 heartbeat: Optional[Callable[[], None]] = None) -> None:
+        self.fn = fn
+        self.items = items
+        self.config = config
+        self.workers = workers
+        self.should_stop = should_stop or (lambda: False)
+        self.heartbeat = heartbeat or (lambda: None)
+        self.outcomes: List[Optional[TaskOutcome]] = [None] * len(items)
+        self.failures = [0] * len(items)
+        self.ready_at = [0.0] * len(items)
+        self.queue: List[int] = list(range(len(items)))
+        self.pool: Optional[ProcessPoolExecutor] = None
+        self.futures: Dict[Any, int] = {}
+        self.started: Dict[Any, float] = {}
+
+    # ------------------------------------------------------------------ #
+    def run(self) -> List[TaskOutcome]:
+        try:
+            while self.queue or self.futures:
+                if self.should_stop():
+                    self._drain()
+                    break
+                self._submit_ready()
+                self._tick()
+                self.heartbeat()
+        except KeyboardInterrupt:
+            self._drain()
+        finally:
+            self._shutdown_pool()
+        for index, outcome in enumerate(self.outcomes):
+            if outcome is None:
+                self.outcomes[index] = TaskOutcome(
+                    status="interrupted", attempts=self.failures[index],
+                    error="shutdown requested")
+        return self.outcomes  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------ #
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self.pool is None:
+            self.pool = ProcessPoolExecutor(max_workers=self.workers)
+        return self.pool
+
+    def _shutdown_pool(self, recycle: bool = False) -> None:
+        pool = self.pool
+        self.pool = None
+        self.futures.clear()
+        self.started.clear()
+        if pool is None:
+            return
+        try:
+            pool.shutdown(wait=not recycle, cancel_futures=True)
+        except TypeError:  # pragma: no cover - cancel_futures needs py3.9
+            pool.shutdown(wait=not recycle)
+        if recycle:
+            # A wedged worker would otherwise run to completion in the
+            # abandoned pool; terminate what we can (best effort, the
+            # executor offers no public kill switch).
+            # shutdown() may have already nulled the internals dict.
+            processes = getattr(pool, "_processes", None) or {}
+            for process in list(processes.values()):
+                try:
+                    process.terminate()
+                except OSError:  # pragma: no cover - already gone
+                    pass
+
+    def _submit_ready(self) -> None:
+        now = time.monotonic()
+        pool = self._ensure_pool()
+        free = self.workers - len(self.futures)
+        remaining: List[int] = []
+        for index in self.queue:
+            if free > 0 and self.ready_at[index] <= now:
+                future = pool.submit(self.fn, self.items[index],
+                                     self.failures[index])
+                self.futures[future] = index
+                free -= 1
+            else:
+                remaining.append(index)
+        self.queue = remaining
+
+    def _tick(self) -> None:
+        if not self.futures:
+            # Everything unfinished is backing off; sleep until the
+            # earliest item is ready again.
+            if self.queue:
+                now = time.monotonic()
+                wake = min(self.ready_at[index] for index in self.queue)
+                time.sleep(min(max(wake - now, 0.0), 0.25)
+                           or _POLL_INTERVAL_S)
+            return
+        done, not_done = wait(list(self.futures), timeout=_POLL_INTERVAL_S,
+                              return_when=FIRST_COMPLETED)
+        now = time.monotonic()
+        for future in not_done:
+            if future not in self.started and future.running():
+                self.started[future] = now
+        for future in done:
+            index = self.futures.pop(future)
+            self.started.pop(future, None)
+            try:
+                value = future.result()
+            except BrokenProcessPool:
+                self._handle_pool_break(index)
+                return
+            except Exception as exc:  # noqa: BLE001 - isolation boundary
+                self._record_failure(index, _describe(exc))
+            else:
+                self.outcomes[index] = TaskOutcome(
+                    value=value, attempts=self.failures[index] + 1)
+        self._check_timeouts(now)
+
+    def _check_timeouts(self, now: float) -> None:
+        timeout = self.config.job_timeout
+        if timeout is None:
+            return
+        expired = [future for future, start in self.started.items()
+                   if future in self.futures and now - start > timeout]
+        if not expired:
+            return
+        for future in expired:
+            index = self.futures.pop(future)
+            self.started.pop(future, None)
+            self._record_failure(
+                index, f"TimeoutError: job exceeded {timeout:.1f}s")
+        # The workers behind the expired futures are wedged; everything
+        # still in flight is resubmitted (uncharged) to a fresh pool.
+        self._requeue_inflight(charge=None)
+        self._shutdown_pool(recycle=True)
+        telemetry.counter("parallel.pool_recycled")
+
+    def _handle_pool_break(self, crashed_index: int) -> None:
+        """A worker died.  Charge the items that were running, respawn."""
+        self._record_failure(crashed_index,
+                             "BrokenProcessPool: worker process died")
+        running = {self.futures[future] for future in list(self.started)
+                   if future in self.futures}
+        self._requeue_inflight(charge=running)
+        self._shutdown_pool(recycle=True)
+        telemetry.counter("parallel.pool_recycled")
+        logger.warning("worker pool died; respawning (%d item(s) resubmitted)",
+                       len(self.queue))
+
+    def _requeue_inflight(self, charge: Optional[set]) -> None:
+        for future, index in list(self.futures.items()):
+            if future.done() and not future.cancelled():
+                # The item finished just as the pool broke/wedged: harvest
+                # its result instead of charging or re-running it.
+                try:
+                    value = future.result()
+                except Exception:  # noqa: BLE001 - fell with the pool
+                    pass
+                else:
+                    self.outcomes[index] = TaskOutcome(
+                        value=value, attempts=self.failures[index] + 1)
+                    continue
+            future.cancel()
+            if charge is not None and index in charge:
+                self._record_failure(
+                    index, "BrokenProcessPool: worker process died")
+            elif self.outcomes[index] is None:
+                self.queue.append(index)
+        self.futures.clear()
+        self.started.clear()
+        self.queue.sort()
+
+    def _record_failure(self, index: int, error: str) -> None:
+        self.failures[index] += 1
+        attempts = self.failures[index]
+        logger.warning("work item %d failed (attempt %d/%d): %s", index,
+                       attempts, self.config.max_retries + 1, error)
+        if attempts > self.config.max_retries:
+            self.outcomes[index] = TaskOutcome(status="quarantined",
+                                               attempts=attempts, error=error)
+        else:
+            self.ready_at[index] = (time.monotonic()
+                                    + self.config.backoff_s(attempts))
+            self.queue.append(index)
+            self.queue.sort()
+
+    def _drain(self) -> None:
+        """Graceful shutdown: finish running work, mark the rest interrupted."""
+        for index in self.queue:
+            if self.outcomes[index] is None:
+                self.outcomes[index] = TaskOutcome(
+                    status="interrupted", attempts=self.failures[index],
+                    error="shutdown requested")
+        self.queue = []
+        if not self.futures:
+            return
+        grace = self.config.job_timeout or 60.0
+        done, not_done = wait(list(self.futures), timeout=grace)
+        for future in done:
+            index = self.futures[future]
+            try:
+                self.outcomes[index] = TaskOutcome(
+                    value=future.result(), attempts=self.failures[index] + 1)
+            except Exception as exc:  # noqa: BLE001 - drain is best effort
+                self.outcomes[index] = TaskOutcome(
+                    status="interrupted", attempts=self.failures[index] + 1,
+                    error=_describe(exc))
+        for future in not_done:
+            index = self.futures[future]
+            self.outcomes[index] = TaskOutcome(
+                status="interrupted", attempts=self.failures[index],
+                error="shutdown requested while running")
+        self.futures.clear()
+        self.started.clear()

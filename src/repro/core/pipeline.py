@@ -78,6 +78,12 @@ class NadaConfig:
     #: reads the REPRO_WORKERS environment variable, <= 1 runs serially.
     #: Each job still trains its seed batch in lockstep inside its worker.
     workers: Optional[int] = 1
+    #: Retries for a job that raises, times out or loses its worker before
+    #: it is quarantined (the campaign then completes without it).
+    max_retries: int = 2
+    #: Seconds one job may run inside a pool worker before being failed and
+    #: retried; None disables the limit (only enforced under fan-out).
+    job_timeout: Optional[float] = None
     #: Directory of the persistent result store; None disables persistence.
     #: With a store, repeated campaigns skip already-scored (design,
     #: environment, seed) work and interrupted campaigns resume.
@@ -109,6 +115,8 @@ class NadaResult:
     early_stopped_designs: List[Design] = field(default_factory=list)
     #: Number of designs trained fully (bootstrap + survivors).
     fully_trained: int = 0
+    #: Designs whose evaluation was quarantined after exhausting retries.
+    failed_designs: int = 0
 
     @property
     def improvement(self) -> Optional[float]:
@@ -131,6 +139,10 @@ class NadaResult:
             f"early stopped     : {len(self.early_stopped_designs)}",
             f"original score    : {self.original_score:.3f}",
         ]
+        if self.failed_designs:
+            # Only surfaced when something actually failed, keeping the
+            # fault-free summary byte-identical to earlier releases.
+            lines.insert(5, f"failed (quarantined): {self.failed_designs}")
         if self.best_design is not None and self.best_score is not None:
             improvement = self.improvement
             impr_text = f" ({improvement:+.1%})" if improvement is not None else ""
@@ -180,7 +192,9 @@ class NadaPipeline:
             if store is None and self.config.store_dir:
                 store = ResultStore(self.config.store_dir)
             scheduler = CampaignScheduler(
-                parallel=ParallelConfig(max_workers=self.config.workers),
+                parallel=ParallelConfig(max_workers=self.config.workers,
+                                        max_retries=self.config.max_retries,
+                                        job_timeout=self.config.job_timeout),
                 store=store)
         self._scheduler = scheduler
         self._trainer = DesignTrainer(video, train_traces, test_traces,
@@ -277,7 +291,7 @@ class NadaPipeline:
         cfg = self.config
         stages.original_score = results[0].score
         self._protocol.record_results(stages.bootstrap, results[1:])
-        stages.fully_trained += len(stages.bootstrap)
+        stages.fully_trained += sum(1 for result in results[1:] if result.ok)
         if cfg.use_early_stopping:
             corpus = [d for d in stages.bootstrap
                       if d.reward_history and d.test_score is not None]
@@ -294,11 +308,12 @@ class NadaPipeline:
     def _apply_stage_two(self, stages: _PipelineStages,
                          results: Sequence[JobResult]) -> None:
         self._protocol.record_results(stages.remainder, results)
-        stages.fully_trained += sum(design.status != DesignStatus.EARLY_STOPPED
+        stages.fully_trained += sum(design.status == DesignStatus.EVALUATED
                                     for design in stages.remainder)
 
     def _result(self, stages: _PipelineStages) -> NadaResult:
         early_stopped = stages.pool.with_status(DesignStatus.EARLY_STOPPED)
+        failed = stages.pool.with_status(DesignStatus.FAILED)
         best = stages.pool.best()
         return NadaResult(
             pool=stages.pool,
@@ -308,6 +323,7 @@ class NadaPipeline:
             best_score=best.test_score if best is not None else None,
             early_stopped_designs=early_stopped,
             fully_trained=stages.fully_trained,
+            failed_designs=len(failed),
         )
 
     def run(self) -> NadaResult:
@@ -406,7 +422,10 @@ class NadaCampaign:
         if store is None and config.store_dir:
             store = ResultStore(config.store_dir)
         scheduler = CampaignScheduler(
-            parallel=ParallelConfig(max_workers=config.workers), store=store)
+            parallel=ParallelConfig(max_workers=config.workers,
+                                    max_retries=config.max_retries,
+                                    job_timeout=config.job_timeout),
+            store=store)
         pipelines = {
             name: NadaPipeline.for_environment(
                 name, config=config, dataset_scale=dataset_scale,

@@ -37,6 +37,25 @@ Records live at ``<root>/<key[:2]>/<key>.json`` with a human-readable
 ``meta`` block alongside the run payload.  Floats survive the JSON round
 trip bit-exactly (Python serializes them via shortest round-trip repr), so
 cached campaign scores are identical to freshly computed ones.
+
+Crash- and concurrency-safety (PR 7):
+
+* **Verified compare-and-swap puts.**  A record is written to a temp file,
+  read back and parsed before publication (healing torn writes the moment
+  they happen), then *linked* into place — an atomic create-if-absent, so
+  when N processes share one store the first writer wins and every later
+  put of the same key is a counted no-op (``put_races``) instead of an
+  overwrite.
+* **Corrupt-record quarantine.**  A record that fails to parse — truncated
+  JSON, a missing payload field — is renamed to ``<key>.json.corrupt`` and
+  counted (``corrupt`` in :meth:`statistics`), so the key retrains exactly
+  once and the evidence survives for debugging instead of being silently
+  treated as a miss forever.
+* **Leases.**  :meth:`claim` atomically creates ``<key>.lease`` carrying
+  ``pid@host`` so concurrent campaigns sharing the store execute each key
+  exactly once; the lease's mtime is its heartbeat (:meth:`refresh`), and a
+  lease whose heartbeat is older than ``lease_timeout`` is considered
+  abandoned and can be taken over by any other process (``lease_stolen``).
 """
 
 from __future__ import annotations
@@ -45,7 +64,9 @@ import dataclasses
 import hashlib
 import json
 import os
+import socket
 import tempfile
+import time
 from typing import Any, Dict, Iterable, Optional, Tuple, TYPE_CHECKING
 
 import numpy as np
@@ -53,13 +74,14 @@ import numpy as np
 from .. import nn
 from ..abr.networks import fast_inference_enabled
 from ..log import get_logger
-from . import telemetry
+from . import faults, telemetry
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from .design import Design
     from .evaluation import DesignTrainer, EvaluationConfig, TrainingRun
 
 __all__ = [
+    "Lease",
     "ResultStore",
     "design_fingerprint",
     "context_fingerprint",
@@ -171,17 +193,38 @@ def result_key(context: str, designs: str, seed: int) -> str:
                     str(int(seed)).encode("utf-8")])
 
 
+class Lease(object):
+    """A held claim on one store key (see :meth:`ResultStore.claim`)."""
+
+    __slots__ = ("key", "path", "owner")
+
+    def __init__(self, key: str, path: str, owner: str) -> None:
+        self.key = key
+        self.path = path
+        self.owner = owner
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Lease({self.key[:12]}…, owner={self.owner})"
+
+
 class ResultStore:
     """JSON-on-disk store of per-seed :class:`TrainingRun` records.
 
     The store is append-only from the scheduler's point of view: records are
-    written atomically (temp file + rename) and never mutated, so concurrent
-    campaigns sharing one store directory cannot corrupt each other.
+    written atomically (temp file + verified hard-link publish) and never
+    mutated, so concurrent campaigns sharing one store directory cannot
+    corrupt each other; the lease layer additionally keeps them from
+    *duplicating* each other (see the module docs).
     """
 
-    def __init__(self, root: str) -> None:
+    #: How many times a verified write retries after detecting corruption.
+    _WRITE_ATTEMPTS = 3
+
+    def __init__(self, root: str, lease_timeout: float = 30.0) -> None:
         self.root = str(root)
         os.makedirs(self.root, exist_ok=True)
+        #: Seconds after which a lease with no heartbeat counts as abandoned.
+        self.lease_timeout = float(lease_timeout)
         #: Lookup statistics since construction (for reports and tests).
         self.hits = 0
         self.misses = 0
@@ -190,10 +233,36 @@ class ResultStore:
         self.partial_probes = 0
         #: Records written since construction.
         self.puts = 0
+        #: Records found unreadable and quarantined to ``*.corrupt``.
+        self.corrupt = 0
+        #: Writes whose read-back verification failed (healed by retrying).
+        self.torn_writes = 0
+        #: Puts dropped because another process published the key first.
+        self.put_races = 0
+        #: Lease lifecycle counts.
+        self.lease_acquired = 0
+        self.lease_contended = 0
+        self.lease_stolen = 0
+        self.lease_released = 0
+        #: Per-(site, key) operation indices for deterministic fault rules.
+        self._op_counts: Dict[Tuple[str, str], int] = {}
 
     # ------------------------------------------------------------------ #
     def _path(self, key: str) -> str:
         return os.path.join(self.root, key[:2], f"{key}.json")
+
+    def _lease_path(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], f"{key}.lease")
+
+    def _occurrence(self, site: str, key: str) -> int:
+        index = self._op_counts.get((site, key), 0)
+        self._op_counts[(site, key)] = index + 1
+        return index
+
+    @property
+    def owner_token(self) -> str:
+        """This process's lease identity: ``pid@host``."""
+        return f"{os.getpid()}@{socket.gethostname()}"
 
     def __contains__(self, key: str) -> bool:
         return os.path.exists(self._path(key))
@@ -230,29 +299,58 @@ class ResultStore:
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 record = json.load(handle)
-        except (OSError, json.JSONDecodeError):
+        except FileNotFoundError:
             return None
-        payload = record["run"]
-        # ``checkpoint_metrics`` joined the payload with the telemetry layer;
-        # it is additive and optional (records written before it load as
-        # None), so the schema version — and hence every key — is unchanged.
-        metrics = payload.get("checkpoint_metrics")
-        if metrics is not None:
-            metrics = {name: [float(v) for v in values]
-                       for name, values in metrics.items()}
-        return TrainingRun(
-            seed=int(payload["seed"]),
-            reward_history=[float(r) for r in payload["reward_history"]],
-            checkpoint_epochs=[int(e) for e in payload["checkpoint_epochs"]],
-            checkpoint_scores=[float(s) for s in payload["checkpoint_scores"]],
-            early_stopped=bool(payload["early_stopped"]),
-            last_k_checkpoints=payload["last_k_checkpoints"],
-            checkpoint_metrics=metrics,
-        )
+        except OSError:
+            # The file exists but could not be read (permissions, transient
+            # I/O).  Not evidence of corruption — treat as a miss without
+            # destroying anything.
+            logger.warning("unreadable store record %s… treated as a miss",
+                           key[:12])
+            return None
+        except json.JSONDecodeError:
+            self._quarantine(key, path, "undecodable JSON")
+            return None
+        try:
+            payload = record["run"]
+            # ``checkpoint_metrics`` joined the payload with the telemetry
+            # layer; it is additive and optional (records written before it
+            # load as None), so the schema version — and hence every key —
+            # is unchanged.
+            metrics = payload.get("checkpoint_metrics")
+            if metrics is not None:
+                metrics = {name: [float(v) for v in values]
+                           for name, values in metrics.items()}
+            return TrainingRun(
+                seed=int(payload["seed"]),
+                reward_history=[float(r) for r in payload["reward_history"]],
+                checkpoint_epochs=[int(e)
+                                   for e in payload["checkpoint_epochs"]],
+                checkpoint_scores=[float(s)
+                                   for s in payload["checkpoint_scores"]],
+                early_stopped=bool(payload["early_stopped"]),
+                last_k_checkpoints=payload["last_k_checkpoints"],
+                checkpoint_metrics=metrics,
+            )
+        except (KeyError, TypeError, ValueError, AttributeError):
+            # Parsed as JSON but the payload is truncated or malformed.
+            self._quarantine(key, path, "malformed payload")
+            return None
 
-    def put_run(self, key: str, run: "TrainingRun",
-                meta: Optional[Dict[str, Any]] = None) -> None:
-        """Persist one run atomically under ``key``."""
+    def _quarantine(self, key: str, path: str, reason: str) -> None:
+        """Rename a bad record to ``*.corrupt`` and count it."""
+        try:
+            os.replace(path, path + ".corrupt")
+        except OSError:
+            return  # vanished or unwritable directory; nothing to preserve
+        self.corrupt += 1
+        telemetry.counter("store.corrupt")
+        logger.warning("corrupt store record (%s) quarantined to %s.corrupt "
+                       "— key %s… will be re-executed", reason,
+                       os.path.basename(path), key[:12])
+
+    def _encode_record(self, run: "TrainingRun",
+                       meta: Optional[Dict[str, Any]]) -> Dict[str, Any]:
         record = {
             "schema": _SCHEMA_VERSION,
             "meta": meta or {},
@@ -269,26 +367,177 @@ class ResultStore:
             record["run"]["checkpoint_metrics"] = {
                 name: list(values)
                 for name, values in run.checkpoint_metrics.items()}
+        return record
+
+    def put_run(self, key: str, run: "TrainingRun",
+                meta: Optional[Dict[str, Any]] = None) -> bool:
+        """Persist one run under ``key`` with a verified compare-and-swap.
+
+        The record is written to a temp file, read back and parsed (a torn
+        or corrupted write is detected immediately and retried up to
+        ``_WRITE_ATTEMPTS`` times), then *hard-linked* into place — an
+        atomic create-if-absent.  Returns True when this call published the
+        record; False when another process already had (``put_races``), in
+        which case the existing record is left untouched — first writer
+        wins, so a key is never silently overwritten.
+        """
+        record = self._encode_record(run, meta)
         path = self._path(key)
         os.makedirs(os.path.dirname(path), exist_ok=True)
-        handle = tempfile.NamedTemporaryFile(
-            "w", dir=os.path.dirname(path), suffix=".tmp",
-            delete=False, encoding="utf-8")
-        try:
-            with handle:
-                json.dump(record, handle)
-            os.replace(handle.name, path)
-        except OSError:
+        for _ in range(self._WRITE_ATTEMPTS):
+            handle = tempfile.NamedTemporaryFile(
+                "w", dir=os.path.dirname(path), suffix=".tmp",
+                delete=False, encoding="utf-8")
             try:
-                os.unlink(handle.name)
+                payload = json.dumps(record)
+                torn = faults.store_rule(
+                    "store.torn_write", key,
+                    self._occurrence("store.torn_write", key))
+                if torn is not None:
+                    payload = payload[:max(1, len(payload) // 2)]
+                with handle:
+                    handle.write(payload)
+                if not self._verify_record(handle.name, record):
+                    self.torn_writes += 1
+                    telemetry.counter("store.torn_write")
+                    logger.warning("torn write detected for %s…; retrying",
+                                   key[:12])
+                    os.unlink(handle.name)
+                    continue
+                try:
+                    os.link(handle.name, path)
+                except FileExistsError:
+                    self.put_races += 1
+                    telemetry.counter("store.put_race")
+                    logger.debug("record %s… already published elsewhere; "
+                                 "dropping duplicate put", key[:12])
+                    return False
+                finally:
+                    os.unlink(handle.name)
             except OSError:
-                pass
-            raise
-        self.puts += 1
-        telemetry.counter("store.put")
-        logger.debug("stored run for seed %d under %s…", run.seed, key[:12])
+                try:
+                    os.unlink(handle.name)
+                except OSError:
+                    pass
+                raise
+            self.puts += 1
+            telemetry.counter("store.put")
+            logger.debug("stored run for seed %d under %s…", run.seed,
+                         key[:12])
+            return True
+        raise OSError(f"could not persist record {key[:12]}… intact after "
+                      f"{self._WRITE_ATTEMPTS} attempts")
+
+    @staticmethod
+    def _verify_record(path: str, expected: Dict[str, Any]) -> bool:
+        """Read back a just-written record and confirm it parses unchanged."""
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                return json.load(handle) == expected
+        except (OSError, json.JSONDecodeError):
+            return False
+
+    # ------------------------------------------------------------------ #
+    # Leases: one file per in-flight key, owner pid@host, heartbeat mtime.
+    # ------------------------------------------------------------------ #
+    def claim(self, key: str) -> Optional[Lease]:
+        """Atomically claim ``key`` for execution by this process.
+
+        Returns a :class:`Lease` when this process now owns the key, or
+        None when a live lease is held elsewhere (``lease_contended``) —
+        the caller should wait for the owner's record to appear.  A lease
+        whose heartbeat mtime is older than ``lease_timeout`` belongs to a
+        dead or wedged owner: exactly one claimant renames it aside
+        (``lease_stolen``) and takes over.
+        """
+        path = self._lease_path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        held = faults.store_rule("store.lease_hold", key,
+                                 self._occurrence("store.lease_hold", key))
+        if held is not None:
+            self._plant_foreign_lease(path, age_s=held.delay_s)
+        # Two passes: the second retries the O_EXCL create after a stale
+        # lease was renamed aside (by us or by a racing claimant).
+        for _ in range(2):
+            try:
+                fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                try:
+                    age = time.time() - os.path.getmtime(path)
+                except OSError:
+                    continue  # released or stolen between checks; retry
+                if age <= self.lease_timeout:
+                    self.lease_contended += 1
+                    telemetry.counter("store.lease_contended")
+                    return None
+                aside = f"{path}.stale.{os.getpid()}"
+                try:
+                    os.rename(path, aside)
+                except OSError:
+                    continue  # another claimant won the steal; retry create
+                try:
+                    os.unlink(aside)
+                except OSError:
+                    pass
+                self.lease_stolen += 1
+                telemetry.counter("store.lease_stolen")
+                logger.warning("took over stale lease on %s… "
+                               "(no heartbeat for %.1fs)", key[:12], age)
+                continue
+            owner = self.owner_token
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump({"owner": owner, "ts": time.time()}, handle)
+            self.lease_acquired += 1
+            telemetry.counter("store.lease_acquired")
+            return Lease(key, path, owner)
+        self.lease_contended += 1
+        telemetry.counter("store.lease_contended")
+        return None
+
+    @staticmethod
+    def _plant_foreign_lease(path: str, age_s: float) -> None:
+        """Fault injection: make ``path`` look held by another process."""
+        if os.path.exists(path):
+            return
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump({"owner": "injected@nowhere", "ts": time.time() - age_s},
+                      handle)
+        then = time.time() - age_s
+        os.utime(path, (then, then))
+
+    def refresh(self, lease: Lease) -> None:
+        """Heartbeat: bump the lease's mtime so it is never seen as stale."""
+        try:
+            os.utime(lease.path, None)
+        except OSError:
+            pass  # stolen or released; the CAS put stays safe regardless
+
+    def release(self, lease: Lease) -> None:
+        """Drop a held lease (only if still owned by this process)."""
+        if self.lease_owner(lease.key) != lease.owner:
+            return  # stolen after a stall; the thief owns it now
+        try:
+            os.unlink(lease.path)
+        except OSError:
+            return
+        self.lease_released += 1
+        telemetry.counter("store.lease_released")
+
+    def lease_owner(self, key: str) -> Optional[str]:
+        """The ``pid@host`` currently holding ``key``'s lease, if any."""
+        try:
+            with open(self._lease_path(key), "r", encoding="utf-8") as handle:
+                return str(json.load(handle).get("owner"))
+        except (OSError, json.JSONDecodeError):
+            return None
 
     # ------------------------------------------------------------------ #
     def statistics(self) -> Dict[str, int]:
         return {"records": len(self), "hits": self.hits, "misses": self.misses,
-                "partial_probes": self.partial_probes, "puts": self.puts}
+                "partial_probes": self.partial_probes, "puts": self.puts,
+                "corrupt": self.corrupt, "torn_writes": self.torn_writes,
+                "put_races": self.put_races,
+                "lease_acquired": self.lease_acquired,
+                "lease_contended": self.lease_contended,
+                "lease_stolen": self.lease_stolen,
+                "lease_released": self.lease_released}

@@ -34,19 +34,26 @@ and hand them to a scheduler.
 
 from __future__ import annotations
 
+import signal
+import threading
+import time
 import weakref
+from contextlib import contextmanager
 from dataclasses import dataclass, replace
-from typing import (Any, Callable, Dict, List, Optional, Sequence, Tuple,
-                    TYPE_CHECKING, TypeVar)
+from typing import (Any, Callable, Dict, Iterator, List, Optional, Sequence,
+                    Tuple, TYPE_CHECKING, TypeVar)
 
 import numpy as np
 
 from .. import nn
 from ..abr.networks import fast_inference_enabled, set_fast_inference
 from ..log import get_logger
-from . import telemetry
-from .parallel import ParallelConfig, parallel_map
-from .results import ResultStore, context_fingerprint, design_fingerprint, result_key
+from . import faults, telemetry
+from .faults import FaultPlan
+from .parallel import (ParallelConfig, TaskOutcome, parallel_map,
+                       run_resilient)
+from .results import (Lease, ResultStore, context_fingerprint,
+                      design_fingerprint, result_key)
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only imports (cycle guard)
     from .design import Design
@@ -103,6 +110,19 @@ class JobResult:
     #: True when this job was collapsed onto an identical job in the same
     #: submission and its result fanned back from that single execution.
     deduplicated: bool = False
+    #: ``"ok"`` for a complete result, ``"quarantined"`` when the job kept
+    #: failing past the retry budget (``runs`` then holds whatever seed
+    #: batches did complete; ``score`` is ``-inf``).
+    status: str = "ok"
+    #: The last failure message for a quarantined job.
+    error: Optional[str] = None
+    #: Training attempts consumed by the slowest-to-succeed seed batch
+    #: (1 for a clean first-try execution, 0 for a store hit).
+    attempts: int = 1
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
 
 
 def protocol_score(runs: Sequence["TrainingRun"], last_k: int) -> float:
@@ -126,6 +146,12 @@ def _job_label(job: EvaluationJob) -> str:
     if job.network_design is not None:
         parts.append(f"net:{job.network_design.design_id}")
     return "+".join(parts) or "original"
+
+
+def _job_fault_key(job: EvaluationJob) -> str:
+    """The key fault rules match against for job-level sites."""
+    seeds = ",".join(str(seed) for seed in job.seeds)
+    return f"{job.environment}|{_job_label(job)}|seeds={seeds}"
 
 
 # --------------------------------------------------------------------------- #
@@ -157,14 +183,21 @@ class _JobTask:
     #: result for the parent's order-preserving merge.  The serial path runs
     #: the exact same capture so event streams match across worker counts.
     capture_telemetry: bool = False
+    #: The active fault plan rides to workers with the task, exactly like
+    #: the engine-state tuple, so injection sites fire identically no
+    #: matter where the job lands.
+    fault_plan: Optional[FaultPlan] = None
 
 
 def _run_job_task(
-        task: _JobTask,
+        task: _JobTask, attempt: int = 0,
 ) -> Tuple[List["TrainingRun"], Optional[List[telemetry.TelemetryEvent]]]:
     """Worker entry point: train one job's seed batch, in lockstep if possible."""
     _apply_engine_state(task.engine)
+    if task.fault_plan is not None:
+        faults.install_plan(task.fault_plan)
     job = task.job
+    faults.perturb_job(_job_fault_key(job), attempt)
     if not task.capture_telemetry:
         runs = job.trainer.run_seeds(job.state_design, job.network_design,
                                      list(job.seeds),
@@ -225,6 +258,73 @@ class CampaignScheduler:
         #: Memoized "does this design train in lockstep?" probes, keyed by
         #: design fingerprint and the engine toggles the answer depends on.
         self._lockstep_probe: Dict[Tuple, bool] = {}
+        #: Set by :meth:`request_shutdown` (and the SIGINT/SIGTERM handlers
+        #: installed around :meth:`run`): in-flight jobs drain, queued jobs
+        #: are abandoned, completed results persist, then :meth:`run`
+        #: raises ``KeyboardInterrupt``.
+        self._shutdown = threading.Event()
+        #: Every quarantined :class:`JobResult` across this scheduler's
+        #: lifetime, in completion order — the campaign's failure record.
+        self.failures: List[JobResult] = []
+
+    # ------------------------------------------------------------------ #
+    # Graceful shutdown.
+    # ------------------------------------------------------------------ #
+    def request_shutdown(self) -> None:
+        """Ask a running campaign to stop: drain in-flight, persist, raise."""
+        self._shutdown.set()
+
+    @contextmanager
+    def _signal_guard(self) -> Iterator[None]:
+        """Route SIGINT/SIGTERM to a graceful drain while :meth:`run` is live.
+
+        The first signal sets the shutdown flag (in-flight jobs finish and
+        persist); a second one aborts hard via ``KeyboardInterrupt``.  Only
+        the main thread can own signal handlers — elsewhere the guard is a
+        no-op and shutdown remains available through
+        :meth:`request_shutdown`.
+        """
+        if threading.current_thread() is not threading.main_thread():
+            yield
+            return
+
+        def handler(signum: int, frame: Any) -> None:
+            if self._shutdown.is_set():
+                raise KeyboardInterrupt
+            self._shutdown.set()
+            logger.warning(
+                "received %s: draining in-flight jobs and persisting "
+                "completed results (signal again to abort hard)",
+                signal.Signals(signum).name)
+
+        previous: Dict[int, Any] = {}
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                previous[signum] = signal.signal(signum, handler)
+            except (ValueError, OSError):  # pragma: no cover - exotic host
+                pass
+        try:
+            yield
+        finally:
+            for signum, old in previous.items():
+                try:
+                    signal.signal(signum, old)
+                except (ValueError, OSError):  # pragma: no cover
+                    pass
+
+    def failure_summary(self) -> Optional[str]:
+        """A per-job table of quarantined work, or None when all jobs passed."""
+        if not self.failures:
+            return None
+        lines = [f"{len(self.failures)} job(s) quarantined after retries:"]
+        for result in self.failures:
+            job = result.job
+            seeds = ",".join(str(seed) for seed in job.seeds)
+            lines.append(
+                f"  - {job.environment or '<env>'} | {_job_label(job)} | "
+                f"seeds={seeds} | attempts={result.attempts} | "
+                f"{result.error or 'unknown failure'}")
+        return "\n".join(lines)
 
     # ------------------------------------------------------------------ #
     def _context(self, job: EvaluationJob) -> str:
@@ -363,14 +463,23 @@ class CampaignScheduler:
         fan-out, so seeds of one design can occupy several workers when
         lockstep has nothing to lose.  Scores are bit-identical to running
         every job serially in submission order.
+
+        A job that keeps failing past the retry budget comes back
+        ``status="quarantined"`` with ``score=-inf`` instead of raising —
+        the batch completes with partial results (graceful degradation).
+        SIGINT/SIGTERM (or :meth:`request_shutdown`) drains in-flight jobs,
+        persists their records, then raises ``KeyboardInterrupt``.
         """
         tel = telemetry.get_telemetry()
         jobs = list(jobs)
+        self._shutdown.clear()
         if tel is not None:
             tel.counter("scheduler.jobs.submitted", len(jobs))
-        with telemetry.span("scheduler.run",
-                            {"jobs": len(jobs)} if tel is not None else None):
-            results = self._run_batch(jobs, tel)
+        with self._signal_guard():
+            with telemetry.span(
+                    "scheduler.run",
+                    {"jobs": len(jobs)} if tel is not None else None):
+                results = self._run_batch(jobs, tel)
         return results
 
     def _run_batch(self, jobs: List[EvaluationJob],
@@ -397,7 +506,8 @@ class CampaignScheduler:
                 score = protocol_score(cached_runs,
                                        job.trainer.config.last_k_checkpoints)
                 results[index] = JobResult(job=job, runs=cached_runs,
-                                           score=score, cached=True)
+                                           score=score, cached=True,
+                                           attempts=0)
             else:
                 pending.append((index, job, keys))
 
@@ -407,63 +517,300 @@ class CampaignScheduler:
             sum(1 for r in results if r is not None and r.cached),
             len(aliases), len(pending))
 
-        if pending:
-            engine = _engine_state()
-            split = self.parallel.resolved_workers() > 1
-            subjobs: List[EvaluationJob] = []
-            widths: List[int] = []
-            for _, job, _ in pending:
-                if split and self._splits_without_cost(job):
-                    parts = [replace(job, seeds=(seed,)) for seed in job.seeds]
-                    if tel is not None:
-                        tel.counter("scheduler.jobs.split_per_seed",
-                                    attrs={"design": _job_label(job),
-                                           "environment": job.environment})
-                else:
-                    parts = [job]
-                subjobs.extend(parts)
-                widths.append(len(parts))
-            tasks = [_JobTask(sub, engine, tel is not None)
-                     for sub in subjobs]
-            with telemetry.span(
-                    "scheduler.execute",
-                    {"tasks": len(tasks)} if tel is not None else None):
-                flat = parallel_map(_run_job_task, tasks, self.parallel)
-            if tel is not None:
-                # Order-preserving merge of worker-captured events: the same
-                # contract results get, so serial and N-worker executions
-                # yield identical event streams modulo timestamps and pids.
-                for _, events in flat:
-                    if events:
-                        tel.extend(events)
-            cursor = 0
-            for (index, job, keys), width in zip(pending, widths):
-                runs = [run for chunk, _ in flat[cursor:cursor + width]
-                        for run in chunk]
-                cursor += width
-                if keys is not None:
-                    with telemetry.span(
-                            "job.persist",
-                            {"design": _job_label(job),
-                             "environment": job.environment}
-                            if tel is not None else None):
-                        self._persist(job, keys, runs)
+        # Claim a lease on every store key before training so a second
+        # process sharing the store cannot execute the same (context,
+        # design, seed) concurrently.  Jobs whose keys are all held
+        # elsewhere are deferred: they wait for the holder to publish (or
+        # die) instead of duplicating its work.
+        executable: List[Tuple[int, EvaluationJob, Optional[List[str]],
+                               List[Lease]]] = []
+        deferred: List[Tuple[int, EvaluationJob, List[str]]] = []
+        for index, job, keys in pending:
+            if keys is None:
+                executable.append((index, job, None, []))
+                continue
+            leases = self._claim_all(keys)
+            if leases is None:
+                deferred.append((index, job, keys))
                 if tel is not None:
-                    tel.counter("scheduler.jobs.trained")
-                    if keys is not None:
-                        tel.counter("scheduler.jobs.persisted")
-                    self._record_training_series(tel, job, runs)
-                score = protocol_score(runs,
-                                       job.trainer.config.last_k_checkpoints)
-                results[index] = JobResult(job=job, runs=runs, score=score)
+                    tel.counter("scheduler.jobs.lease_deferred")
+                continue
+            # Another process may have published between our lookup miss
+            # and the claim; honour its records instead of retraining.
+            cached_runs = self._peek_batch(job, keys)
+            if cached_runs is not None:
+                for lease in leases:
+                    self.store.release(lease)
+                self._commit_hit(job, cached_runs, results, index, tel)
+                continue
+            executable.append((index, job, keys, leases))
+
+        interrupted = False
+        if executable:
+            interrupted = self._execute_pending(executable, results, tel)
+        if deferred:
+            if interrupted or self._shutdown.is_set():
+                interrupted = True
+            else:
+                interrupted = self._await_deferred(deferred, results, tel)
 
         for index, primary in aliases.items():
             source = results[primary]
+            if source is None:
+                continue  # primary interrupted; no result to fan back
             results[index] = JobResult(job=jobs[index], runs=source.runs,
                                        score=source.score,
                                        cached=source.cached,
-                                       deduplicated=True)
+                                       deduplicated=True,
+                                       status=source.status,
+                                       error=source.error,
+                                       attempts=source.attempts)
+
+        if interrupted or self._shutdown.is_set():
+            settled = sum(1 for result in results if result is not None)
+            logger.warning(
+                "graceful shutdown: %d/%d job result(s) settled; completed "
+                "work was persisted to the store", settled, len(jobs))
+            if tel is not None:
+                tel.counter("scheduler.interrupted")
+            raise KeyboardInterrupt(
+                "campaign interrupted; completed results were persisted")
         return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------ #
+    # Lease coordination.
+    # ------------------------------------------------------------------ #
+    def _claim_all(self, keys: List[str]) -> Optional[List[Lease]]:
+        """Claim every key or none: partial holds are released on failure."""
+        leases: List[Lease] = []
+        for key in keys:
+            lease = self.store.claim(key)
+            if lease is None:
+                for held in leases:
+                    self.store.release(held)
+                return None
+            leases.append(lease)
+        return leases
+
+    def _peek_batch(self, job: EvaluationJob,
+                    keys: List[str]) -> Optional[List["TrainingRun"]]:
+        """Counter-free all-or-nothing read, for lease polling."""
+        runs = []
+        for key in keys:
+            run = self.store.peek_run(key)
+            if run is None:
+                return None
+            runs.append(run)
+        for run in runs:
+            run.last_k_checkpoints = job.trainer.config.last_k_checkpoints
+        return runs
+
+    def _commit_hit(self, job: EvaluationJob, runs: List["TrainingRun"],
+                    results: List[Optional[JobResult]], index: int,
+                    tel: Optional[telemetry.Telemetry]) -> None:
+        """Account and record a batch served by another process's records."""
+        self.store.hits += len(runs)
+        telemetry.counter("store.hit", len(runs))
+        if tel is not None:
+            tel.counter("scheduler.jobs.store_hit")
+        score = protocol_score(runs, job.trainer.config.last_k_checkpoints)
+        results[index] = JobResult(job=job, runs=runs, score=score,
+                                   cached=True, attempts=0)
+
+    def _await_deferred(self, deferred: List[Tuple[int, EvaluationJob,
+                                                   List[str]]],
+                        results: List[Optional[JobResult]],
+                        tel: Optional[telemetry.Telemetry]) -> bool:
+        """Wait for lease holders to publish; steal and execute if they die.
+
+        Polls the store for each deferred job: records appearing resolve
+        the job as a hit; a lease going stale (holder crashed without
+        heartbeating) is taken over via :meth:`ResultStore.claim` and the
+        job executes here.  Returns True when shutdown interrupted the
+        wait.
+        """
+        poll = max(0.05, min(1.0, self.store.lease_timeout / 10.0))
+        pending = list(deferred)
+        while pending:
+            if self._shutdown.is_set():
+                return True
+            remaining: List[Tuple[int, EvaluationJob, List[str]]] = []
+            for index, job, keys in pending:
+                runs = self._peek_batch(job, keys)
+                if runs is not None:
+                    self._commit_hit(job, runs, results, index, tel)
+                    continue
+                leases = self._claim_all(keys)
+                if leases is not None:
+                    if self._execute_pending([(index, job, keys, leases)],
+                                             results, tel):
+                        return True
+                    continue
+                remaining.append((index, job, keys))
+            if remaining and len(remaining) == len(pending):
+                time.sleep(poll)
+            pending = remaining
+        return False
+
+    # ------------------------------------------------------------------ #
+    # Resilient execution.
+    # ------------------------------------------------------------------ #
+    def _execute_pending(
+            self,
+            batch: List[Tuple[int, EvaluationJob, Optional[List[str]],
+                              List[Lease]]],
+            results: List[Optional[JobResult]],
+            tel: Optional[telemetry.Telemetry]) -> bool:
+        """Train a batch of uncached jobs; returns True when interrupted.
+
+        Subjob failures are isolated: an attempt that raises, times out or
+        dies with its worker is retried with backoff, and a subjob
+        exhausting the retry budget quarantines its parent job instead of
+        aborting the batch.  Completed seed batches persist to the store
+        even when a sibling subjob of the same job failed or a shutdown
+        arrived mid-batch, so resumed campaigns skip them.
+        """
+        engine = _engine_state()
+        plan = faults.get_plan()
+        split = self.parallel.resolved_workers() > 1
+        parts_per_job: List[List[EvaluationJob]] = []
+        subjobs: List[EvaluationJob] = []
+        for _, job, _, _ in batch:
+            if split and self._splits_without_cost(job):
+                parts = [replace(job, seeds=(seed,)) for seed in job.seeds]
+                if tel is not None:
+                    tel.counter("scheduler.jobs.split_per_seed",
+                                attrs={"design": _job_label(job),
+                                       "environment": job.environment})
+            else:
+                parts = [job]
+            parts_per_job.append(parts)
+            subjobs.extend(parts)
+        tasks = [_JobTask(sub, engine, tel is not None, plan)
+                 for sub in subjobs]
+
+        heartbeat = self._lease_heartbeat(
+            [lease for _, _, _, leases in batch for lease in leases])
+        with telemetry.span(
+                "scheduler.execute",
+                {"tasks": len(tasks)} if tel is not None else None):
+            flat = run_resilient(_run_job_task, tasks, self.parallel,
+                                 should_stop=self._shutdown.is_set,
+                                 heartbeat=heartbeat)
+        if tel is not None:
+            # Order-preserving merge of worker-captured events: the same
+            # contract results get, so serial and N-worker executions
+            # yield identical event streams modulo timestamps and pids.
+            for outcome in flat:
+                if outcome.ok and outcome.value is not None:
+                    _, events = outcome.value
+                    if events:
+                        tel.extend(events)
+
+        interrupted = False
+        cursor = 0
+        for (index, job, keys, leases), parts in zip(batch, parts_per_job):
+            outcomes = flat[cursor:cursor + len(parts)]
+            cursor += len(parts)
+            try:
+                job_interrupted = self._settle_job(index, job, keys, parts,
+                                                   outcomes, results, tel)
+            finally:
+                for lease in leases:
+                    self.store.release(lease)
+            interrupted = interrupted or job_interrupted
+        return interrupted
+
+    def _lease_heartbeat(
+            self, leases: List[Lease]) -> Optional[Callable[[], None]]:
+        """A rate-limited refresher keeping held leases visibly alive."""
+        if not leases or self.store is None:
+            return None
+        interval = max(0.5, min(self.store.lease_timeout / 4.0, 10.0))
+        last = [time.monotonic()]
+
+        def heartbeat() -> None:
+            now = time.monotonic()
+            if now - last[0] < interval:
+                return
+            last[0] = now
+            for lease in leases:
+                self.store.refresh(lease)
+
+        return heartbeat
+
+    def _settle_job(self, index: int, job: EvaluationJob,
+                    keys: Optional[List[str]],
+                    parts: List[EvaluationJob],
+                    outcomes: List[TaskOutcome],
+                    results: List[Optional[JobResult]],
+                    tel: Optional[telemetry.Telemetry]) -> bool:
+        """Aggregate one job's subjob outcomes into a JobResult; persist.
+
+        Returns True when any subjob was interrupted mid-shutdown — the
+        job then stays unsettled (``results[index]`` remains None) and the
+        batch raises ``KeyboardInterrupt`` after persisting everything
+        that did complete.
+        """
+        runs: List["TrainingRun"] = []
+        ok_keys: List[str] = []
+        errors: List[str] = []
+        attempts = 1
+        job_interrupted = False
+        seed_keys = dict(zip(job.seeds, keys)) if keys is not None else {}
+        for part, outcome in zip(parts, outcomes):
+            attempts = max(attempts, outcome.attempts)
+            if outcome.status == "interrupted":
+                job_interrupted = True
+            elif not outcome.ok:
+                errors.append(outcome.error or "unknown failure")
+            elif outcome.value is not None:
+                part_runs, _ = outcome.value
+                runs.extend(part_runs)
+                if keys is not None:
+                    ok_keys.extend(seed_keys[seed] for seed in part.seeds)
+            if tel is not None and outcome.attempts > 1:
+                tel.counter("job.retry", outcome.attempts - 1,
+                            attrs={"design": _job_label(job),
+                                   "environment": job.environment})
+
+        if ok_keys:
+            with telemetry.span(
+                    "job.persist",
+                    {"design": _job_label(job),
+                     "environment": job.environment}
+                    if tel is not None else None):
+                self._persist(job, ok_keys, runs)
+            if tel is not None:
+                tel.counter("scheduler.jobs.persisted")
+
+        if job_interrupted:
+            if tel is not None:
+                tel.counter("job.interrupted",
+                            attrs={"design": _job_label(job),
+                                   "environment": job.environment})
+            return True
+        if errors:
+            message = "; ".join(dict.fromkeys(errors))
+            logger.warning("job quarantined after %d attempt(s): %s | %s",
+                           attempts, _job_fault_key(job), message)
+            if tel is not None:
+                tel.counter("job.quarantined",
+                            attrs={"design": _job_label(job),
+                                   "environment": job.environment})
+            result = JobResult(job=job, runs=runs, score=float("-inf"),
+                               status="quarantined", error=message,
+                               attempts=attempts)
+            results[index] = result
+            self.failures.append(result)
+            return False
+        if tel is not None:
+            tel.counter("scheduler.jobs.trained")
+            self._record_training_series(tel, job, runs)
+        score = protocol_score(runs, job.trainer.config.last_k_checkpoints)
+        results[index] = JobResult(job=job, runs=runs, score=score,
+                                   attempts=attempts)
+        return False
 
     @staticmethod
     def _record_training_series(tel: telemetry.Telemetry, job: EvaluationJob,

@@ -470,6 +470,18 @@ def summarize(events: Sequence[TelemetryEvent]) -> Dict[str, Any]:
             "lowered": int(counters.get("compile.lowered", 0.0)),
             "fallbacks": fallbacks,
         },
+        "faults": {
+            "retries": int(counters.get("job.retry", 0.0)),
+            "quarantined": int(counters.get("job.quarantined", 0.0)),
+            "interrupted": int(counters.get("job.interrupted", 0.0)),
+            "pool_recycles": int(counters.get("parallel.pool_recycled", 0.0)),
+            "corrupt_records": int(counters.get("store.corrupt", 0.0)),
+            "torn_writes": int(counters.get("store.torn_write", 0.0)),
+            "put_races": int(counters.get("store.put_race", 0.0)),
+            "leases_acquired": int(counters.get("store.lease_acquired", 0.0)),
+            "leases_contended": int(counters.get("store.lease_contended", 0.0)),
+            "leases_stolen": int(counters.get("store.lease_stolen", 0.0)),
+        },
         "designs": slowest,
         "series": series_stats,
     }
@@ -517,6 +529,18 @@ def render_report(events: Sequence[TelemetryEvent], top: int = 8) -> str:
     for reason, count in sorted(compile_stats["fallbacks"].items(),
                                 key=lambda item: item[1], reverse=True):
         lines.append(f"  {count:>3} × {reason}")
+
+    faults = summary["faults"]
+    lines.append(f"fault tolerance   : {faults['retries']} retries, "
+                 f"{faults['quarantined']} quarantined, "
+                 f"{faults['interrupted']} interrupted, "
+                 f"{faults['pool_recycles']} pool recycle(s)")
+    lines.append(f"store integrity   : {faults['corrupt_records']} corrupt, "
+                 f"{faults['torn_writes']} torn write(s), "
+                 f"{faults['put_races']} put race(s); leases "
+                 f"{faults['leases_acquired']} acquired / "
+                 f"{faults['leases_contended']} contended / "
+                 f"{faults['leases_stolen']} stolen")
 
     if summary["designs"]:
         lines.append("slowest designs   :")
