@@ -6,6 +6,10 @@
 #                         baselines with a tolerance)
 #   make test           - the full tier-1 suite (tests + benchmark regenerations)
 #   make bench          - the evaluation-engine benchmark, refreshing BENCH_baseline.json
+#   make lint           - static analysis gate: the repo contract linter over
+#                         src/repro plus the design auditor's self-check corpus
+#                         (equivalent to `repro lint --self`); fails on any
+#                         contract error or corpus deviation
 #   make campaign-smoke - multi-environment examples + CLI campaign at tiny scale
 #   make chaos-smoke    - the tiny campaign under deterministic fault injection:
 #                         every job raises once, workers crash, a store write is
@@ -15,11 +19,14 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: smoke test bench bench-generated campaign-smoke chaos-smoke
+.PHONY: smoke test lint bench bench-generated campaign-smoke chaos-smoke
 
 smoke:
 	$(PYTHON) -m pytest -q -m "not slow"
 	$(PYTHON) benchmarks/bench_regression.py
+
+lint:
+	$(PYTHON) -m repro lint --self
 
 test:
 	$(PYTHON) -m pytest -x -q

@@ -50,8 +50,12 @@ def _precheck_ablation(num_designs: int = 150):
     sweep_rows = []
     for threshold in (1.0, 10.0, 100.0, 1e4, 1e8):
         pool = [Design(kind="state", code=code) for code in codes]
+        # The static audit is disabled here: this ablation isolates the
+        # *dynamic* normalization threshold, which the audit's threshold-free
+        # raw-feature rules would otherwise mask at permissive settings.
         pipeline = FilterPipeline(CompilationCheck(),
-                                  NormalizationCheck(threshold=threshold))
+                                  NormalizationCheck(threshold=threshold),
+                                  audit_check=None)
         report = pipeline.apply(pool)
         sweep_rows.append([f"T = {threshold:g}", report.compilable,
                            report.well_normalized,

@@ -1,0 +1,143 @@
+"""Finding and report types shared by the design auditor and contract linter.
+
+A finding names the violated rule (``family.rule`` id), where it was found
+(line, optionally file for repo lint findings), how bad it is and what to do
+about it.  Severity policy: ``ERROR`` findings reject a design (or fail
+``repro lint``); ``WARNING`` findings are recorded on the design and counted
+in telemetry but never reject; ``INFO`` is purely advisory.
+
+Rule families group related rules: ``sandbox`` (escape/containment),
+``determinism`` (reproducibility), ``resource`` (boundedness), ``purity``
+(input mutation), ``normalization`` (feature scaling), ``numeric``
+(non-finite constants), ``contract`` (the state/network code-block
+contracts), ``syntax`` (unparseable code) and ``repo`` (contract-linter
+rules over the repository itself).
+
+For Table 2 accounting the families collapse onto the paper's two pre-check
+buckets via :func:`rejection_bucket`: ``normalization``-family rejections
+count as *compilable but badly normalized* (the paper's normalization
+check), every other rejecting family as *not compilable* — so a campaign
+whose audit stage rejects a design statically reports the same
+``compilable``/``well normalized`` fractions the dynamic checks would have.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["Severity", "AuditFinding", "AuditReport", "rejection_bucket"]
+
+
+class Severity(str, enum.Enum):
+    """How serious a finding is (ERROR rejects, WARNING/INFO only record)."""
+
+    INFO = "info"
+    WARNING = "warning"
+    ERROR = "error"
+
+
+#: Families whose rejections land in the paper's normalization bucket; all
+#: other rejecting families count against the compilation bucket.
+_NORMALIZATION_FAMILIES = frozenset({"normalization"})
+
+
+def rejection_bucket(rule: str) -> str:
+    """Map a rule id onto the Table 2 pre-check bucket it rejects under."""
+    family = rule.split(".", 1)[0]
+    return "normalization" if family in _NORMALIZATION_FAMILIES \
+        else "compilation"
+
+
+@dataclass(frozen=True)
+class AuditFinding:
+    """One rule violation at one location."""
+
+    rule: str
+    severity: Severity
+    message: str
+    line: int = 0
+    #: Source file (repo contract findings only; empty for design audits).
+    file: str = ""
+
+    @property
+    def family(self) -> str:
+        return self.rule.split(".", 1)[0]
+
+    def to_dict(self) -> Dict[str, object]:
+        record: Dict[str, object] = {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "message": self.message,
+            "line": self.line,
+        }
+        if self.file:
+            record["file"] = self.file
+        return record
+
+    def render(self) -> str:
+        location = f"{self.file}:{self.line}" if self.file else f"line {self.line}"
+        return f"[{self.severity.value}] {self.rule} ({location}): {self.message}"
+
+
+@dataclass
+class AuditReport:
+    """Everything the auditor decided about one code block."""
+
+    #: "state" or "network".
+    kind: str
+    findings: List[AuditFinding] = field(default_factory=list)
+    #: Lowerability prediction (network designs only; None otherwise).
+    lowerability: Optional[object] = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def errors(self) -> List[AuditFinding]:
+        return [f for f in self.findings if f.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[AuditFinding]:
+        return [f for f in self.findings if f.severity is Severity.WARNING]
+
+    @property
+    def passed(self) -> bool:
+        """True when nothing rejects (warnings/infos may still be present)."""
+        return not self.errors
+
+    @property
+    def rejection_bucket(self) -> Optional[str]:
+        """The Table 2 bucket this report rejects under, or None if clean.
+
+        A report violating both buckets counts against ``compilation`` —
+        mirroring the dynamic pipeline, where the compilation check runs
+        first and a design never reaches the normalization check.
+        """
+        buckets = {rejection_bucket(f.rule) for f in self.errors}
+        if not buckets:
+            return None
+        return "compilation" if "compilation" in buckets else "normalization"
+
+    def rule_ids(self) -> Tuple[str, ...]:
+        return tuple(f.rule for f in self.findings)
+
+    def has_rule(self, rule: str) -> bool:
+        return any(f.rule == rule for f in self.findings)
+
+    def summary(self) -> str:
+        if self.passed and not self.warnings:
+            return f"{self.kind} design: clean"
+        parts = [f"{self.kind} design: {len(self.errors)} error(s), "
+                 f"{len(self.warnings)} warning(s)"]
+        parts.extend("  " + f.render() for f in self.findings)
+        return "\n".join(parts)
+
+    def to_dict(self) -> Dict[str, object]:
+        record: Dict[str, object] = {
+            "kind": self.kind,
+            "passed": self.passed,
+            "findings": [f.to_dict() for f in self.findings],
+        }
+        if self.lowerability is not None:
+            record["lowerability"] = self.lowerability.to_dict()
+        return record

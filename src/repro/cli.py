@@ -27,6 +27,13 @@ Five subcommands cover the common workflows:
     and the slowest designs.  ``--trace out.json`` on a campaign additionally
     writes a Chrome-trace file loadable in Perfetto (https://ui.perfetto.dev).
 
+``lint``
+    Static analysis.  ``repro lint --self`` (the default) runs the repo
+    contract linter over ``src/repro`` plus the design auditor's self-check
+    corpus; ``repro lint --designs DIR`` audits every ``*.py`` design code
+    block under DIR without executing it.  ``--json`` emits the structured
+    findings instead of the rendered report.  Exit code 0 means clean.
+
 Result tables and summaries print to stdout; progress commentary goes
 through :mod:`repro.log` to stderr and is controlled by ``--verbose`` /
 ``--quiet`` on every subcommand.
@@ -43,6 +50,7 @@ Invoke via ``python -m repro <subcommand> --help``.
 from __future__ import annotations
 
 import argparse
+import glob
 import os
 import sys
 from typing import List, Optional, Sequence, Tuple
@@ -245,6 +253,24 @@ def build_parser() -> argparse.ArgumentParser:
                         help="emit the machine-readable summary instead of "
                              "the rendered report")
     _add_logging_flags(report)
+
+    lint = subparsers.add_parser(
+        "lint", help="statically audit design files or lint the repo itself")
+    what = lint.add_mutually_exclusive_group()
+    what.add_argument("--designs", metavar="DIR", default=None,
+                      help="audit every *.py design code block under DIR "
+                           "(blocks defining build_network audit as network "
+                           "designs, the rest as state designs); nothing is "
+                           "executed")
+    what.add_argument("--self", action="store_true", dest="self_check",
+                      help="lint src/repro against the repo contracts (RNG "
+                           "discipline, store-key completeness, pool "
+                           "picklability, telemetry no-op paths) and run the "
+                           "auditor's self-check corpus [default]")
+    lint.add_argument("--json", action="store_true",
+                      help="emit structured findings as JSON instead of the "
+                           "rendered report")
+    _add_logging_flags(lint)
     return parser
 
 
@@ -465,6 +491,75 @@ def _command_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _audit_design_directory(directory: str):
+    """Audit every ``*.py`` file under ``directory``; returns result dicts."""
+    from .analysis.staticcheck import audit_design
+
+    paths = sorted(glob.glob(os.path.join(directory, "**", "*.py"),
+                             recursive=True))
+    results = []
+    for path in paths:
+        with open(path, "r", encoding="utf-8") as handle:
+            code = handle.read()
+        kind = "network" if "def build_network" in code else "state"
+        report = audit_design(code, kind)
+        entry = report.to_dict()
+        entry["file"] = os.path.relpath(path, directory)
+        results.append(entry)
+    return results
+
+
+def _command_lint(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from .analysis.staticcheck import lint_repo, run_selfcheck_corpus
+
+    if args.designs:
+        if not os.path.isdir(args.designs):
+            logger.error("no such directory: %s", args.designs)
+            return 1
+        results = _audit_design_directory(args.designs)
+        if not results:
+            logger.error("no *.py design files under %s", args.designs)
+            return 1
+        failed = [r for r in results if not r["passed"]]
+        if args.json:
+            print(json_module.dumps({"designs": results}, indent=2))
+        else:
+            for entry in results:
+                status = "ok" if entry["passed"] else "REJECTED"
+                extra = (f" [{entry['lowerability']['verdict']}]"
+                         if entry.get("lowerability") else "")
+                print(f"{entry['file']}: {status} ({entry['kind']}){extra}")
+                for finding in entry["findings"]:
+                    print(f"  [{finding['severity']}] {finding['rule']} "
+                          f"(line {finding['line']}): {finding['message']}")
+            print(f"\n{len(results) - len(failed)}/{len(results)} design "
+                  f"blocks pass the static audit")
+        return 1 if failed else 0
+
+    # --self (the default): repo contracts + the auditor's own corpus.
+    contract_findings = lint_repo()
+    ok, messages = run_selfcheck_corpus()
+    errors = [f for f in contract_findings if f.severity == "error"]
+    clean = not errors and ok
+    if args.json:
+        print(json_module.dumps({
+            "contracts": [f.to_dict() for f in contract_findings],
+            "selfcheck": {"ok": ok, "messages": messages},
+            "clean": clean,
+        }, indent=2))
+    else:
+        for finding in contract_findings:
+            print(finding.render())
+        for message in messages:
+            print(f"selfcheck: {message}")
+        print(f"contract linter : {len(contract_findings)} finding(s), "
+              f"{len(errors)} error(s)")
+        print(f"auditor corpus  : {'ok' if ok else 'FAILED'}")
+    return 0 if clean else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -477,6 +572,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "traces": _command_traces,
         "baselines": _command_baselines,
         "report": _command_report,
+        "lint": _command_lint,
     }
     return handlers[args.command](args)
 

@@ -15,12 +15,29 @@ code — the ``nn_library`` facade over :mod:`repro.abr.networks` and
 are rejected.  The sandbox is a safety and reproducibility measure, not a
 hard security boundary, mirroring how the paper executed generated code inside
 the Pensieve code base.
+
+Two hardening layers complement the static design auditor
+(:mod:`repro.analysis.staticcheck`), which rejects escape attempts before any
+``exec`` happens:
+
+* ``getattr``/``setattr``/``hasattr`` are wrapped to refuse attribute names
+  that are not literal strings at call time or that start with ``_`` —
+  closing the ``getattr(obj, '__class__')`` route around the auditor's
+  static dunder rule (plain ``obj.__class__`` syntax can only be rejected
+  statically, which the auditor does).
+* ``import random`` hands generated code a **seeded** stand-in for the
+  module (:class:`_SeededRandom`, seed :data:`GENERATED_RANDOM_SEED`), so a
+  design that draws from ``random`` still evaluates deterministically and
+  the content-addressed result store stays sound.  ``random.Random(seed)``
+  and ``random.seed(...)`` keep working; every module-level draw comes from
+  the injected seeded instance.
 """
 
 from __future__ import annotations
 
 import builtins
 import math
+import random as _random_module
 import statistics
 import types
 from typing import Callable, Dict, Optional
@@ -35,6 +52,11 @@ from .. import nn as nn_package
 __all__ = [
     "CodeBlockError",
     "ALLOWED_IMPORT_ROOTS",
+    "SAFE_BUILTIN_NAMES",
+    "SANDBOX_GLOBAL_NAMES",
+    "NETWORK_GLOBAL_NAMES",
+    "NN_LIBRARY_ATTRIBUTES",
+    "GENERATED_RANDOM_SEED",
     "compile_code_block",
     "load_state_function",
     "load_network_builder",
@@ -51,6 +73,61 @@ ALLOWED_IMPORT_ROOTS = frozenset({
     "functools", "random", "typing", "dataclasses",
 })
 
+#: Builtins exposed to generated code.  ``getattr``/``setattr``/``hasattr``
+#: appear here but are *wrapped* (see :func:`_safe_getattr`) so they reject
+#: underscore-prefixed names at runtime.  The static auditor
+#: (:mod:`repro.analysis.staticcheck`) treats this tuple as the set of
+#: resolvable builtin names.
+SAFE_BUILTIN_NAMES = (
+    "abs", "all", "any", "bool", "dict", "enumerate", "filter", "float",
+    "int", "len", "list", "map", "max", "min", "print", "range",
+    "reversed", "round", "set", "sorted", "str", "sum", "tuple", "zip",
+    "isinstance", "issubclass", "getattr", "hasattr", "setattr",
+    "Exception", "ValueError", "TypeError", "IndexError", "KeyError",
+    "RuntimeError", "ZeroDivisionError", "ArithmeticError",
+    "StopIteration", "NotImplementedError", "object", "super", "type",
+    "staticmethod", "classmethod", "property", "slice", "divmod", "pow",
+    "repr", "format", "iter", "next", "frozenset", "complex", "bytes",
+    "True", "False", "None",
+)
+
+#: Names injected into every sandbox namespace (state and network code).
+SANDBOX_GLOBAL_NAMES = ("np", "numpy", "math", "statistics",
+                        "__name__", "__builtins__")
+
+#: Additional names injected for network-builder code blocks.
+NETWORK_GLOBAL_NAMES = ("nn_library", "nn")
+
+#: Attributes the ``nn_library`` facade exposes to generated network code.
+NN_LIBRARY_ATTRIBUTES = ("PensieveNetwork", "GenericActorCritic",
+                         "ActorCriticNetwork", "nn")
+
+#: Seed of the ``random`` stand-in handed to generated code on import.
+GENERATED_RANDOM_SEED = 20240527
+
+
+class _SeededRandom(types.SimpleNamespace):
+    """Deterministic stand-in bound by ``import random`` in the sandbox.
+
+    Exposes the public API of a seeded :class:`random.Random` instance as
+    bound methods (``random``/``randint``/``choice``/...), so module-level
+    draws in generated code are reproducible.  ``Random`` is re-exported so
+    ``random.Random(seed)`` still constructs explicitly seeded generators.
+    The backing instance itself is never reachable: only its public bound
+    methods are copied onto the namespace, and any other attribute lookup
+    raises :class:`CodeBlockError`.
+    """
+
+    def __init__(self, seed: int = GENERATED_RANDOM_SEED) -> None:
+        instance = _random_module.Random(seed)
+        public = {name: getattr(instance, name)
+                  for name in dir(instance) if not name.startswith("_")}
+        super().__init__(Random=_random_module.Random, **public)
+
+    def __getattr__(self, name: str):
+        raise CodeBlockError(
+            f"access to random.{name} is not allowed in generated code")
+
 
 def _restricted_import(name: str, globals=None, locals=None, fromlist=(), level=0):
     root = name.split(".")[0]
@@ -58,7 +135,35 @@ def _restricted_import(name: str, globals=None, locals=None, fromlist=(), level=
         raise CodeBlockError(
             f"import of {name!r} is not allowed in generated code "
             f"(allowed roots: {sorted(ALLOWED_IMPORT_ROOTS)})")
+    if root == "random":
+        # Reproducibility: module-level draws come from a seeded instance.
+        return _SeededRandom()
     return __import__(name, globals, locals, fromlist, level)
+
+
+def _guard_attribute_name(function: str, name: object) -> str:
+    """Validate the attribute-name argument of getattr/setattr/hasattr."""
+    if not isinstance(name, str):
+        raise CodeBlockError(
+            f"{function} with a non-string attribute name is not allowed "
+            "in generated code")
+    if name.startswith("_"):
+        raise CodeBlockError(
+            f"{function}({name!r}) is not allowed in generated code: "
+            "underscore-prefixed attributes are off limits")
+    return name
+
+
+def _safe_getattr(obj, name, *default):
+    return getattr(obj, _guard_attribute_name("getattr", name), *default)
+
+
+def _safe_setattr(obj, name, value):
+    setattr(obj, _guard_attribute_name("setattr", name), value)
+
+
+def _safe_hasattr(obj, name):
+    return hasattr(obj, _guard_attribute_name("hasattr", name))
 
 
 class _NNLibraryFacade(types.SimpleNamespace):
@@ -77,20 +182,14 @@ def _make_nn_library() -> _NNLibraryFacade:
 def _sandbox_globals(extra: Optional[Dict[str, object]] = None) -> Dict[str, object]:
     safe_builtins = {
         name: getattr(builtins, name)
-        for name in (
-            "abs", "all", "any", "bool", "dict", "enumerate", "filter", "float",
-            "int", "len", "list", "map", "max", "min", "print", "range",
-            "reversed", "round", "set", "sorted", "str", "sum", "tuple", "zip",
-            "isinstance", "issubclass", "getattr", "hasattr", "setattr",
-            "Exception", "ValueError", "TypeError", "IndexError", "KeyError",
-            "RuntimeError", "ZeroDivisionError", "ArithmeticError",
-            "StopIteration", "NotImplementedError", "object", "super", "type",
-            "staticmethod", "classmethod", "property", "slice", "divmod", "pow",
-            "repr", "format", "iter", "next", "frozenset", "complex", "bytes",
-            "True", "False", "None",
-        )
+        for name in SAFE_BUILTIN_NAMES
         if hasattr(builtins, name)
     }
+    # Attribute-access builtins are wrapped: underscore-prefixed and
+    # non-literal names raise CodeBlockError instead of escaping the sandbox.
+    safe_builtins["getattr"] = _safe_getattr
+    safe_builtins["setattr"] = _safe_setattr
+    safe_builtins["hasattr"] = _safe_hasattr
     safe_builtins["__import__"] = _restricted_import
     sandbox: Dict[str, object] = {
         "__builtins__": safe_builtins,

@@ -31,6 +31,8 @@ class DesignStatus(str, enum.Enum):
     """Lifecycle of a design inside the Nada pipeline."""
 
     GENERATED = "generated"
+    #: Rejected by the static design auditor, before any code was executed.
+    REJECTED_AUDIT = "rejected_audit"
     REJECTED_COMPILATION = "rejected_compilation"
     REJECTED_NORMALIZATION = "rejected_normalization"
     PENDING_EVALUATION = "pending_evaluation"
@@ -60,6 +62,12 @@ class Design:
     tags: tuple[str, ...] = ()
     #: Error message of the failed pre-check, if any.
     rejection_reason: Optional[str] = None
+    #: Structured findings from the static audit stage (rule id, severity,
+    #: message, line), as dicts so the design stays trivially serializable.
+    audit_findings: List[Dict[str, object]] = field(default_factory=list)
+    #: Static lowerability verdict for network designs ("compiled",
+    #: "hand_fused", "graph_fallback" or "unknown"; None before the audit).
+    lowerability: Optional[str] = None
     #: Episode rewards observed during (possibly truncated) training.
     reward_history: List[float] = field(default_factory=list)
     #: Test scores observed at periodic checkpoints during training.
@@ -80,17 +88,20 @@ class Design:
     # ------------------------------------------------------------------ #
     @property
     def is_rejected(self) -> bool:
-        return self.status in (DesignStatus.REJECTED_COMPILATION,
+        return self.status in (DesignStatus.REJECTED_AUDIT,
+                               DesignStatus.REJECTED_COMPILATION,
                                DesignStatus.REJECTED_NORMALIZATION)
 
     @property
     def passed_prechecks(self) -> bool:
         return self.status not in (DesignStatus.GENERATED,
+                                   DesignStatus.REJECTED_AUDIT,
                                    DesignStatus.REJECTED_COMPILATION,
                                    DesignStatus.REJECTED_NORMALIZATION)
 
     def mark_rejected(self, status: DesignStatus, reason: str) -> None:
-        if status not in (DesignStatus.REJECTED_COMPILATION,
+        if status not in (DesignStatus.REJECTED_AUDIT,
+                          DesignStatus.REJECTED_COMPILATION,
                           DesignStatus.REJECTED_NORMALIZATION):
             raise ValueError("mark_rejected requires a rejection status")
         self.status = status

@@ -1,16 +1,27 @@
-"""Pre-check filters: compilation check and normalization check (§2.2).
+"""Pre-check filters: static audit, compilation check and normalization check.
 
-Both checks operate on raw code blocks:
+The checks operate on raw code blocks, in order:
 
-* the **compilation check** compiles the code in the sandbox and performs a
-  trial run on synthetic inputs — any exception rejects the design;
+* the **audit check** statically analyzes the code — no execution — with the
+  design auditor (:mod:`repro.analysis.staticcheck`), rejecting sandbox
+  escapes, nondeterminism, unbounded loops, input mutation, statically
+  visible normalization defects and contract violations before any ``exec``;
+  it also attaches warnings and the lowerability verdict to the design;
+* the **compilation check** (§2.2) compiles the code in the sandbox and
+  performs a trial run on synthetic inputs — any exception rejects the
+  design;
 * the **normalization check** fuzzes a state function with random inputs drawn
   from wide but realistic ranges and rejects the design if any output feature
   exceeds a threshold ``T`` (100 in the paper) in absolute value.
 
 The :class:`FilterPipeline` applies them in order to a
 :class:`~repro.core.design.CandidatePool` and records per-stage statistics
-(the quantities reported in Table 2).
+(the quantities reported in Table 2).  An audit rejection is folded into the
+same two Table 2 buckets the dynamic checks report — a statically detected
+normalization defect still counts as "compilable but badly normalized", and
+everything else as "not compilable" — so audit-first filtering reports the
+same ``compilable``/``well normalized`` fractions the dynamic pipeline
+measures on its own.
 """
 
 from __future__ import annotations
@@ -31,6 +42,7 @@ from .design import Design, DesignKind, DesignStatus
 __all__ = [
     "random_observation",
     "CheckResult",
+    "AuditCheck",
     "CompilationCheck",
     "NormalizationCheck",
     "FilterPipeline",
@@ -81,6 +93,58 @@ class CheckResult:
 
     passed: bool
     reason: str = ""
+
+
+class AuditCheck:
+    """Static pre-check: run the design auditor before anything executes.
+
+    Wraps :class:`~repro.analysis.staticcheck.auditor.DesignAuditor` (lazily
+    imported — :mod:`repro.analysis` pulls in the experiment layer, which
+    must not load whenever ``core.filters`` does).  Besides the pass/reject
+    decision, :meth:`annotate` records structured findings and the
+    lowerability verdict on the design, so accepted designs carry their
+    warnings and predicted execution engine into the pool.
+    """
+
+    def __init__(self, reject_on_warnings: bool = False) -> None:
+        self.reject_on_warnings = reject_on_warnings
+        self._auditor = None
+
+    def _get_auditor(self):
+        if self._auditor is None:
+            from ..analysis.staticcheck.auditor import DesignAuditor
+            self._auditor = DesignAuditor(
+                reject_on_warnings=self.reject_on_warnings)
+        return self._auditor
+
+    # ------------------------------------------------------------------ #
+    def check(self, design: Design) -> CheckResult:
+        passed, report = self._get_auditor().check(design)
+        self.annotate(design, report)
+        if passed:
+            if report.warnings:
+                return CheckResult(True, report.warnings[0].render())
+            return CheckResult(True)
+        reasons = "; ".join(f.render() for f in report.errors[:3])
+        return CheckResult(False, f"static audit: {reasons}")
+
+    @staticmethod
+    def annotate(design: Design, report) -> None:
+        design.audit_findings = [f.to_dict() for f in report.findings]
+        if report.lowerability is not None:
+            design.lowerability = report.lowerability.verdict
+            design.metadata["lowerability_reason"] = report.lowerability.reason
+
+    @staticmethod
+    def rejection_bucket(design: Design) -> str:
+        """The Table 2 bucket an audit-rejected ``design`` falls into."""
+        from ..analysis.staticcheck.findings import rejection_bucket
+        buckets = {rejection_bucket(str(f.get("rule", "")))
+                   for f in design.audit_findings
+                   if f.get("severity") == "error"}
+        if not buckets:
+            return "compilation"
+        return "compilation" if "compilation" in buckets else "normalization"
 
 
 class CompilationCheck:
@@ -186,11 +250,21 @@ class NormalizationCheck:
 
 @dataclass
 class FilterReport:
-    """Aggregate statistics of a filtering pass (Table 2 quantities)."""
+    """Aggregate statistics of a filtering pass (Table 2 quantities).
+
+    ``compilable``/``well_normalized`` keep the paper's semantics regardless
+    of *which* stage rejected a design: an audit rejection decrements the
+    bucket its rule family maps onto (see module docstring), so the
+    fractions are comparable with and without the static stage.
+    ``rejected_by_audit`` additionally counts how many rejections the static
+    stage caught before any code ran.
+    """
 
     total: int = 0
     compilable: int = 0
     well_normalized: int = 0
+    #: Designs rejected statically, before execution (subset of rejections).
+    rejected_by_audit: int = 0
     rejection_reasons: Dict[str, int] = field(default_factory=dict)
 
     @property
@@ -206,18 +280,40 @@ class FilterReport:
 
 
 class FilterPipeline:
-    """Applies the pre-checks in order and updates design statuses."""
+    """Applies the pre-checks in order and updates design statuses.
+
+    ``audit_check=None`` disables the static stage (the pre-PR-8 dynamic
+    pipeline, kept for differential testing).
+    """
+
+    _DEFAULT_AUDIT = object()
 
     def __init__(self, compilation_check: Optional[CompilationCheck] = None,
-                 normalization_check: Optional[NormalizationCheck] = None) -> None:
+                 normalization_check: Optional[NormalizationCheck] = None,
+                 audit_check=_DEFAULT_AUDIT) -> None:
+        self.audit_check: Optional[AuditCheck] = (
+            AuditCheck() if audit_check is self._DEFAULT_AUDIT else audit_check)
         self.compilation_check = compilation_check or CompilationCheck()
         self.normalization_check = normalization_check or NormalizationCheck()
 
     def apply(self, designs: Iterable[Design]) -> FilterReport:
-        """Run both checks over ``designs``, mutating their statuses."""
+        """Run the checks over ``designs``, mutating their statuses."""
         report = FilterReport()
         for design in designs:
             report.total += 1
+            if self.audit_check is not None:
+                audit = self.audit_check.check(design)
+                if not audit.passed:
+                    design.mark_rejected(DesignStatus.REJECTED_AUDIT,
+                                         audit.reason)
+                    report.rejected_by_audit += 1
+                    bucket = self.audit_check.rejection_bucket(design)
+                    if bucket == "normalization":
+                        # The design would have compiled; only the
+                        # normalization bucket loses it.
+                        report.compilable += 1
+                    report._note_rejection(f"audit.{bucket}")
+                    continue
             compilation = self.compilation_check.check(design)
             if not compilation.passed:
                 design.mark_rejected(DesignStatus.REJECTED_COMPILATION,

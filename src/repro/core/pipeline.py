@@ -143,6 +143,10 @@ class NadaResult:
             # Only surfaced when something actually failed, keeping the
             # fault-free summary byte-identical to earlier releases.
             lines.insert(5, f"failed (quarantined): {self.failed_designs}")
+        if self.filter_report.rejected_by_audit:
+            # Likewise only surfaced when the static audit rejected something.
+            lines.insert(1, f"rejected by audit : "
+                            f"{self.filter_report.rejected_by_audit}")
         if self.best_design is not None and self.best_score is not None:
             improvement = self.improvement
             impr_text = f" ({improvement:+.1%})" if improvement is not None else ""

@@ -295,6 +295,10 @@ class StateDesignSpace:
                                    p=[0.4, 0.25, 0.2, 0.15])
         include_download_time = bool(rng.random() > 0.15)
         include_next_sizes = bool(rng.random() > 0.15)
+        if defect == "raw_sizes":
+            # The defect lives in the next-sizes row; keep the row present so
+            # every "raw_sizes" sample actually contains the defect.
+            include_next_sizes = True
         n_extra = int(rng.binomial(3, creativity * 0.6))
         extras = tuple(rng.choice(STATE_EXTRA_FEATURES, size=n_extra,
                                   replace=False)) if n_extra else ()

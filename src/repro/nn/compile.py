@@ -63,6 +63,7 @@ __all__ = [
     "set_numerics",
     "plan_for",
     "lower_sequence",
+    "lowerable_activation_names",
 ]
 
 logger = logging.getLogger(__name__)
@@ -219,6 +220,17 @@ _ACTIVATIONS: Dict[Optional[str], Tuple[Callable, Callable]] = {
     "sigmoid": (_sigmoid_fwd, _sigmoid_bwd),
     "softplus": (_softplus_fwd, _softplus_bwd),
 }
+
+
+def lowerable_activation_names() -> frozenset:
+    """Activation names that have fused kernels (lower-cased).
+
+    The static lowerability predictor
+    (:mod:`repro.analysis.staticcheck.lowerability`) checks generated
+    ``build_network`` blocks against this vocabulary; tests cross-check its
+    verdicts against :func:`plan_for`'s actual decisions.
+    """
+    return frozenset(name for name in _ACTIVATIONS if isinstance(name, str))
 
 
 def _activation_kernel(name) -> Tuple[Callable, Callable]:

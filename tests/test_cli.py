@@ -55,3 +55,51 @@ class TestCommands:
         assert exit_code == 0
         captured = capsys.readouterr().out
         assert "original score" in captured
+
+
+class TestLintCommand:
+    def test_lint_defaults_to_self(self):
+        args = build_parser().parse_args(["lint"])
+        assert args.designs is None
+        assert not args.self_check
+
+    def test_designs_and_self_are_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["lint", "--designs", "x", "--self"])
+
+    def test_lint_self_is_clean(self, capsys):
+        exit_code = main(["lint", "--self"])
+        assert exit_code == 0
+        captured = capsys.readouterr().out
+        assert "contract linter" in captured
+        assert "auditor corpus" in captured
+
+    def test_lint_self_json(self, capsys):
+        import json
+
+        exit_code = main(["lint", "--self", "--json"])
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["clean"] is True
+        assert payload["selfcheck"]["ok"] is True
+
+    def test_lint_designs_directory(self, tmp_path, capsys):
+        import json
+
+        from repro.llm import StateDesignSpace, StateDesignSpec
+
+        (tmp_path / "good.py").write_text(
+            StateDesignSpace().render(StateDesignSpec()))
+        (tmp_path / "escape.py").write_text(
+            "def state_func(*args):\n    return ().__class__.__mro__\n")
+        exit_code = main(["lint", "--designs", str(tmp_path), "--json"])
+        assert exit_code == 1
+        payload = json.loads(capsys.readouterr().out)
+        by_file = {entry["file"]: entry for entry in payload["designs"]}
+        assert by_file["good.py"]["passed"]
+        assert not by_file["escape.py"]["passed"]
+        rules = {f["rule"] for f in by_file["escape.py"]["findings"]}
+        assert "sandbox.dunder-attribute" in rules
+
+    def test_lint_designs_missing_directory(self, tmp_path):
+        assert main(["lint", "--designs", str(tmp_path / "nope")]) == 1

@@ -120,14 +120,39 @@ class TestFilterPipeline:
         ]
         report = FilterPipeline().apply(designs)
         assert report.total == 4
+        # The static audit rejects the defective designs before exec, but
+        # folds them into the same Table 2 buckets the dynamic checks used:
+        # the raw-bytes state still counts as compilable, the syntax error
+        # does not.
         assert report.compilable == 3
         assert report.well_normalized == 2
+        assert report.rejected_by_audit == 2
         assert designs[0].status is DesignStatus.PENDING_EVALUATION
+        assert designs[1].status is DesignStatus.REJECTED_AUDIT
+        assert designs[2].status is DesignStatus.REJECTED_AUDIT
+        assert designs[3].status is DesignStatus.PENDING_EVALUATION
+        assert report.rejection_reasons == {"audit.compilation": 1,
+                                            "audit.normalization": 1}
+        assert 0.0 < report.compilable_fraction <= 1.0
+        assert designs[1].audit_findings
+        assert designs[3].lowerability == "hand_fused"  # PensieveNetwork
+
+    def test_dynamic_checks_without_audit(self):
+        # With the audit stage disabled the dynamic pre-checks behave
+        # exactly as before the auditor existed.
+        designs = [
+            Design(kind="state", code=GOOD_STATE),
+            Design(kind="state", code=RAW_BYTES_STATE),
+            Design(kind="state", code=BROKEN_STATE),
+            Design(kind="network", code=GOOD_NETWORK),
+        ]
+        report = FilterPipeline(audit_check=None).apply(designs)
+        assert report.compilable == 3
+        assert report.well_normalized == 2
+        assert report.rejected_by_audit == 0
         assert designs[1].status is DesignStatus.REJECTED_NORMALIZATION
         assert designs[2].status is DesignStatus.REJECTED_COMPILATION
-        assert designs[3].status is DesignStatus.PENDING_EVALUATION
         assert report.rejection_reasons == {"compilation": 1, "normalization": 1}
-        assert 0.0 < report.compilable_fraction <= 1.0
 
     def test_empty_report_fractions(self):
         report = FilterPipeline().apply([])
