@@ -11,6 +11,9 @@
 #                         (equivalent to `repro lint --self`); fails on any
 #                         contract error or corpus deviation
 #   make campaign-smoke - multi-environment examples + CLI campaign at tiny scale
+#   make serve-smoke    - tiny fleet through `repro serve` with telemetry + Chrome
+#                         trace: validates the percentile/throughput JSON, the
+#                         trace file, and the serving section of `repro report`
 #   make chaos-smoke    - the tiny campaign under deterministic fault injection:
 #                         every job raises once, workers crash, a store write is
 #                         torn and a lease is contended -- the run must heal
@@ -19,7 +22,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: smoke test lint bench bench-generated campaign-smoke chaos-smoke
+.PHONY: smoke test lint bench bench-generated campaign-smoke chaos-smoke serve-smoke
 
 smoke:
 	$(PYTHON) -m pytest -q -m "not slow"
@@ -60,6 +63,28 @@ campaign-smoke:
 	    --checkpoint-interval 2 --num-seeds 1 --no-early-stopping \
 	    --store .campaign-smoke-store
 	rm -rf .campaign-smoke-store .campaign-smoke-telemetry .campaign-smoke-trace.json
+
+# Serving smoke: a tiny fleet driven through `repro serve` with telemetry and
+# a Chrome trace.  The JSON output is validated for the serving contract
+# (p50/p95/p99 decision latency, decisions/sec, sessions/sec all present and
+# sane), the Chrome trace for loadability, and the `repro report` summary for
+# the serving section the fleet's serve.* counters feed.
+serve-smoke:
+	rm -rf .serve-smoke-telemetry .serve-smoke-trace.json
+	$(PYTHON) -m repro serve --sessions 32 --dataset-scale 0.03 --num-chunks 6 \
+	    --json --telemetry .serve-smoke-telemetry --trace .serve-smoke-trace.json \
+	    > serve-smoke-metrics.json
+	$(PYTHON) -c "import json; m = json.load(open('serve-smoke-metrics.json'))['metrics']; \
+	    assert m['num_sessions'] == 32 and m['num_decisions'] == 32 * 6; \
+	    assert m['decisions_per_s'] > 0 and m['sessions_per_s'] > 0; \
+	    assert 0.0 <= m['p50_decision_latency_s'] <= m['p95_decision_latency_s'] <= m['p99_decision_latency_s']; \
+	    print(f\"serve metrics OK: {m['decisions_per_s']:.0f} dec/s, p99 {m['p99_decision_latency_s']*1e3:.2f} ms\")"
+	$(PYTHON) -c "import json; t = json.load(open('.serve-smoke-trace.json'))['traceEvents']; assert t and all({'name', 'ph', 'ts'} <= set(e) for e in t), 'malformed Chrome trace'; print(f'trace OK: {len(t)} events')"
+	$(PYTHON) -c "from repro.core import telemetry; \
+	    s = telemetry.summarize(telemetry.load_events('.serve-smoke-telemetry'))['serving']; \
+	    assert s['fleet_runs'] == 1 and s['sessions'] == 32 and s['decisions'] == 32 * 6, s; \
+	    print(f\"report serving section OK: {s['decisions']} decisions in {s['ticks']} ticks\")"
+	rm -rf .serve-smoke-telemetry .serve-smoke-trace.json serve-smoke-metrics.json
 
 # Chaos smoke: the tiny two-environment campaign again, but with the
 # deterministic fault harness armed -- every job's first attempt raises, one

@@ -7,7 +7,11 @@ compares them against the committed ``benchmarks/BENCH_*.json`` reports:
 * **engine** — the seed-vs-optimized A/B behind ``BENCH_baseline.json``;
 * **generated** — the compiled-generated-design check behind
   ``BENCH_generated.json`` (autograd-graph fallback vs compiled lockstep on
-  non-Pensieve architectures), at a reduced scale so the gate stays fast.
+  non-Pensieve architectures), at a reduced scale so the gate stays fast;
+* **serving** — the fleet-serving A/B behind ``BENCH_serving.json``
+  (per-session serial emulation vs the batched fleet harness), at a reduced
+  session count; the fleet must additionally stay bit-identical to its
+  matched serial reference.
 
 Two properties are enforced per workload:
 
@@ -48,12 +52,17 @@ from dataclasses import replace
 from typing import List, Optional
 
 from bench_scales import (DEFAULT_BENCH_SCALE, run_benchmark,
-                          run_generated_benchmark)
+                          run_generated_benchmark, run_serving_benchmark)
 
 BASELINES = {
     "engine": "BENCH_baseline.json",
     "generated": "BENCH_generated.json",
+    "serving": "BENCH_serving.json",
 }
+
+#: Session count for the smoke-gate serving run (the committed report uses
+#: ``bench_scales.SERVING_SESSIONS``; the ratio is stable well below that).
+SMOKE_SERVING_SESSIONS = 64
 
 #: Reduced scale for the smoke-gate runs (the committed reports use the full
 #: DEFAULT_BENCH_SCALE; the gate only needs enough work for a stable ratio).
@@ -175,6 +184,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         _check("generated", fresh,
                _load_baseline(args.baseline_dir, "generated"),
                args.min_speedup_fraction, args.max_score_delta, failures)
+    if "serving" not in args.skip:
+        fresh = run_serving_benchmark(num_sessions=SMOKE_SERVING_SESSIONS,
+                                      dataset_scale=0.03, num_chunks=12,
+                                      dtype="float32")
+        _check("serving", fresh, _load_baseline(args.baseline_dir, "serving"),
+               args.min_speedup_fraction, args.max_score_delta, failures)
+        if not fresh["bit_identical"]:
+            failures.append("serving: fleet sessions diverged from the "
+                            "matched serial reference — the batched harness "
+                            "changed results")
     if "telemetry" not in args.skip:
         _check_telemetry_overhead(args.max_telemetry_overhead, failures)
 

@@ -581,6 +581,124 @@ def run_campaign_benchmark(scale: Optional[ExperimentScale] = None,
     }
 
 
+#: Scale used by the committed serving benchmark (``BENCH_serving.json``).
+SERVING_SESSIONS = 256
+
+
+def _session_signature(result) -> list:
+    """Bitwise comparison key of one emulated session."""
+    return [(r.chunk_index, r.bitrate_index, r.reward, r.download_time_s,
+             r.rebuffer_s, r.buffer_s) for r in result.records]
+
+
+def run_serving_benchmark(num_sessions: int = SERVING_SESSIONS,
+                          dataset_scale: float = 0.04,
+                          num_chunks: int = 14,
+                          seed: int = 0,
+                          dtype: str = "float32",
+                          environments: Sequence[str] = ("fcc", "starlink"),
+                          batch_window_s: float = 0.25) -> dict:
+    """A/B the batched fleet harness against the per-session serial loop.
+
+    Three passes stream the same ``num_sessions`` sessions (a mixed trace
+    set, sessions assigned round-robin) with the same fresh original agent:
+
+    * **serial reference** — the pre-fleet serving path exactly as the seed
+      shipped it: ``bisect`` link inversion and one per-observation Python
+      forward per decision, sessions back to back;
+    * **serial matched** — the same per-observation loop on the ``prefix``
+      link engine (isolates the link-inversion win from the batching win);
+    * **fleet** — the event-driven fleet: ``prefix`` engine, every decision
+      tick answered by ONE batched policy forward.
+
+    The headline ``speedup`` compares the fleet against the serial
+    reference; ``batched_only_speedup`` is fleet vs serial matched.  The
+    fleet must be **bit-identical, session for session, to the matched
+    serial pass** (same engine ⇒ same bits; the report refuses to claim a
+    speedup otherwise), while the cross-engine comparison is held to a
+    score tolerance because prefix/bisect inversions agree to ~1e-14
+    seconds, not bitwise.
+    """
+    from repro.core.evaluation import instantiate_agent
+    from repro.emulation import EmulationConfig, Fleet, FleetConfig, LinkConfig
+
+    scale = replace(DEFAULT_BENCH_SCALE, dataset_scale=dataset_scale,
+                    num_chunks=num_chunks, seed=seed)
+    setups = [build_environment(env, scale) for env in environments]
+    video = setups[0].video
+    traces = [trace for setup in setups for trace in setup.test_traces]
+
+    previous_dtype = nn.set_default_dtype(dtype)
+    try:
+        agent = instantiate_agent(None, None, video, setups[0].train_traces,
+                                  seed=seed)
+
+        def fleet_for(engine: str) -> Fleet:
+            link = replace(LinkConfig(), delivery_engine=engine)
+            return Fleet(video, traces, config=FleetConfig(
+                emulation=EmulationConfig(link=link),
+                arrival_process="poisson", batch_window_s=batch_window_s))
+
+        reference_fleet = fleet_for("bisect")
+        start = time.perf_counter()
+        reference = reference_fleet.serial_reference(agent, num_sessions)
+        reference_s = time.perf_counter() - start
+
+        fast_fleet = fleet_for("prefix")
+        start = time.perf_counter()
+        matched = fast_fleet.serial_reference(agent, num_sessions)
+        matched_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        fleet_result = fast_fleet.run(agent, num_sessions)
+        fleet_s = time.perf_counter() - start
+    finally:
+        nn.set_default_dtype(previous_dtype)
+
+    bit_identical = all(
+        _session_signature(a) == _session_signature(b)
+        for a, b in zip(fleet_result.sessions, matched))
+    cross_engine_delta = max(
+        abs(a.mean_reward - b.mean_reward)
+        for a, b in zip(fleet_result.sessions, reference))
+    decisions = sum(len(s.records) for s in fleet_result.sessions)
+    metrics = fleet_result.metrics
+    return {
+        "workload": {
+            "environments": list(environments),
+            "traces": len(traces),
+            "num_sessions": num_sessions,
+            "num_chunks": num_chunks,
+            "dataset_scale": dataset_scale,
+            "decisions": decisions,
+            "batch_window_s": batch_window_s,
+            "dtype": dtype,
+        },
+        "serial_reference_mode": {
+            "seconds": round(reference_s, 3),
+            "decisions_per_s": round(decisions / reference_s, 1),
+            "delivery_engine": "bisect",
+        },
+        "serial_matched_mode": {
+            "seconds": round(matched_s, 3),
+            "decisions_per_s": round(decisions / matched_s, 1),
+            "delivery_engine": "prefix",
+        },
+        "fleet_mode": {
+            "seconds": round(fleet_s, 3),
+            "delivery_engine": "prefix",
+            "metrics": metrics.to_dict(),
+        },
+        "speedup": round(reference_s / fleet_s, 2),
+        "batched_only_speedup": round(matched_s / fleet_s, 2),
+        "bit_identical": bit_identical,
+        "max_score_delta": 0.0 if bit_identical else float("inf"),
+        "cross_engine_score_delta": cross_engine_delta,
+        "mean_qoe_per_chunk": fleet_result.mean_reward,
+        "cpu_count": os.cpu_count(),
+    }
+
+
 def _git_sha() -> Optional[str]:
     import subprocess
     try:
@@ -623,7 +741,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         description="End-to-end benchmark of the design-evaluation engine")
     parser.add_argument("--mode",
                         choices=["engine", "multi-seed", "campaign",
-                                 "generated"],
+                                 "generated", "serving"],
                         default="engine",
                         help="engine: seed implementation vs optimized engine "
                              "(default); multi-seed: per-seed optimized "
@@ -632,7 +750,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "scheduler (lockstep jobs + result-store replay) "
                              "on a multi-environment workload; generated: "
                              "autograd-graph fallback vs compiled lockstep "
-                             "on a generated-architecture campaign")
+                             "on a generated-architecture campaign; serving: "
+                             "per-session serial emulation vs the batched "
+                             "fleet harness on a concurrent-session workload")
+    parser.add_argument("--sessions", type=int, default=SERVING_SESSIONS,
+                        help="concurrent sessions in --mode serving")
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="write the report as JSON (e.g. benchmarks/BENCH_baseline.json)")
     parser.add_argument("--workers", type=int, default=1,
@@ -671,6 +793,36 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.json:
             _write_json(report, args.json)
         return 0
+
+    if args.mode == "serving":
+        report = run_serving_benchmark(num_sessions=args.sessions,
+                                       dtype=args.dtype)
+        workload = report["workload"]
+        metrics = report["fleet_mode"]["metrics"]
+        print(f"workload      : {workload['num_sessions']} sessions x "
+              f"{workload['num_chunks']} chunks over {workload['traces']} "
+              f"traces ({', '.join(workload['environments'])}, "
+              f"{workload['dtype']})")
+        print(f"serial ref    : {report['serial_reference_mode']['seconds']:8.3f} s  "
+              f"({report['serial_reference_mode']['decisions_per_s']:,.0f} "
+              "dec/s; bisect inversion, per-observation forwards)")
+        print(f"serial matched: {report['serial_matched_mode']['seconds']:8.3f} s  "
+              f"({report['serial_matched_mode']['decisions_per_s']:,.0f} "
+              "dec/s; prefix inversion, per-observation forwards)")
+        print(f"fleet mode    : {report['fleet_mode']['seconds']:8.3f} s  "
+              f"({metrics['decisions_per_s']:,.0f} dec/s, mean batch "
+              f"{metrics['mean_batch_size']:.1f}, p99 latency "
+              f"{metrics['p99_decision_latency_s'] * 1e3:.2f} ms)")
+        print(f"speedup       : {report['speedup']:8.2f} x  (serial ref -> fleet)")
+        print(f"batching only : {report['batched_only_speedup']:8.2f} x  "
+              "(serial matched -> fleet)")
+        print(f"bit identical : {report['bit_identical']}  "
+              "(fleet vs matched serial, session for session)")
+        print(f"score delta   : {report['cross_engine_score_delta']:8.2e} "
+              "(max |bisect - prefix| per session)")
+        if args.json:
+            _write_json(report, args.json)
+        return 0 if report["bit_identical"] else 1
 
     if args.mode == "campaign":
         report = run_campaign_benchmark(dtype=args.dtype,

@@ -28,6 +28,7 @@ __all__ = [
     "ORIGINAL_STATE_SOURCE",
     "original_state_function",
     "original_states_batched",
+    "original_states_gathered",
     "StateFunction",
     "BUFFER_NORM_FACTOR_S",
     "THROUGHPUT_NORM_FACTOR_MBPS",
@@ -135,6 +136,52 @@ def original_states_batched(
     out[..., 4, :count] = sizes[:count]
     out[..., 5, :] = float(remaining_chunk_count) / max(float(total_chunk_count),
                                                         1.0)
+    return out
+
+
+def original_states_gathered(
+    bitrate_kbps_histories: np.ndarray,
+    throughput_mbps_histories: np.ndarray,
+    download_time_s_histories: np.ndarray,
+    buffer_size_s_histories: np.ndarray,
+    next_chunk_sizes_bytes: np.ndarray,
+    remaining_chunk_counts: np.ndarray,
+    total_chunk_count: int,
+    bitrate_ladder_kbps: np.ndarray,
+    out: np.ndarray,
+) -> np.ndarray:
+    """Vectorized :func:`original_state_function` over *independent* sessions.
+
+    Unlike :func:`original_states_batched` (lockstep seeds: every session at
+    the same chunk of the same video), this variant serves a fleet of
+    sessions at *different* playback positions: ``next_chunk_sizes_bytes``
+    is ``(sessions, bitrates)`` — one row per session — and
+    ``remaining_chunk_counts`` is ``(sessions,)``.  Histories are
+    ``(sessions, H)`` and ``out`` receives ``(sessions, 6, H)``.
+
+    Row for row this performs the exact arithmetic of the serial function
+    (elementwise divides by the same scalars on the same values), so
+    ``out[i]`` is bit-identical to calling the serial function on session
+    ``i``'s observation — the fleet harness relies on this to stay
+    session-for-session identical to serial :class:`Emulator` runs while
+    building every state of a decision tick in a handful of NumPy calls.
+    """
+    history_len = bitrate_kbps_histories.shape[-1]
+    ladder = np.asarray(bitrate_ladder_kbps, dtype=np.float64)
+    np.divide(bitrate_kbps_histories, ladder[-1], out=out[..., 0, :])
+    np.divide(buffer_size_s_histories, BUFFER_NORM_FACTOR_S, out=out[..., 1, :])
+    np.divide(throughput_mbps_histories, THROUGHPUT_NORM_FACTOR_MBPS,
+              out=out[..., 2, :])
+    np.divide(download_time_s_histories, BUFFER_NORM_FACTOR_S,
+              out=out[..., 3, :])
+    sizes = np.asarray(next_chunk_sizes_bytes,
+                       dtype=np.float64) / CHUNK_SIZE_NORM_FACTOR_BYTES
+    count = min(sizes.shape[-1], history_len)
+    out[..., 4, :] = 0.0
+    out[..., 4, :count] = sizes[..., :count]
+    remaining = np.asarray(remaining_chunk_counts, dtype=np.float64)
+    out[..., 5, :] = (remaining
+                      / max(float(total_chunk_count), 1.0))[..., None]
     return out
 
 

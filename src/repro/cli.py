@@ -1,6 +1,6 @@
 """Command-line interface for the Nada reproduction.
 
-Five subcommands cover the common workflows:
+The subcommands cover the common workflows:
 
 ``run``
     Run a Nada campaign in one of the paper's environments (or
@@ -20,6 +20,12 @@ Five subcommands cover the common workflows:
 ``baselines``
     Evaluate the classic ABR baselines (and optionally a freshly trained
     original-Pensieve agent) on an environment's test traces.
+
+``serve``
+    Drive a policy through the event-driven fleet emulator under synthetic
+    heavy traffic (configurable session count, arrival process and trace
+    mix), answering each decision tick with one batched policy forward, and
+    report decisions/sec, sessions/sec and p50/p95/p99 decision latency.
 
 ``report``
     Summarize a telemetry directory recorded with ``--telemetry DIR``: cache
@@ -241,6 +247,55 @@ def build_parser() -> argparse.ArgumentParser:
     baselines.add_argument("--policies", nargs="+",
                            default=["bba", "rate_based", "bola", "mpc"])
     _add_logging_flags(baselines)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="drive a policy through the fleet emulator under synthetic "
+             "heavy traffic and report serving throughput/latency")
+    serve.add_argument("--environment", choices=list_environments(),
+                       default="fcc",
+                       help="trace registry environment supplying the mix")
+    serve.add_argument("--sessions", type=int, default=256,
+                       help="number of concurrent virtual players")
+    serve.add_argument("--arrival", choices=["instant", "uniform", "poisson"],
+                       default="poisson",
+                       help="session arrival process on the virtual timeline")
+    serve.add_argument("--arrival-rate", type=_positive_float, default=50.0,
+                       help="session arrivals per virtual second "
+                            "(uniform/poisson)")
+    serve.add_argument("--batch-window", type=float, default=0.25,
+                       help="virtual-time window (s) batched into one policy "
+                            "forward; 0 disables batching across sessions")
+    serve.add_argument("--max-batch", type=int, default=4096,
+                       help="upper bound on decisions per batched tick")
+    serve.add_argument("--delivery-engine", choices=["prefix", "bisect"],
+                       default="prefix",
+                       help="link schedule inversion: analytic prefix lookup "
+                            "(fast default) or binary search (reference)")
+    serve.add_argument("--stochastic", action="store_true",
+                       help="sample actions from the policy distribution "
+                            "instead of greedy argmax")
+    serve.add_argument("--sample-seed", type=int, default=0,
+                       help="base seed of the per-session action-sampling "
+                            "generators (with --stochastic)")
+    serve.add_argument("--dataset-scale", type=float, default=0.05)
+    serve.add_argument("--num-chunks", type=int, default=16)
+    serve.add_argument("--seed", type=int, default=0,
+                       help="seed for the trace mix and policy weights")
+    serve.add_argument("--dtype", choices=["float32", "float64"],
+                       default="float64")
+    serve.add_argument("--no-compile", action="store_true")
+    serve.add_argument("--numerics", choices=["exact", "fast"],
+                       default="exact")
+    serve.add_argument("--json", action="store_true",
+                       help="emit the serving metrics as JSON instead of the "
+                            "rendered summary")
+    serve.add_argument("--telemetry", metavar="DIR", default=None,
+                       help="record serve.* spans/counters under DIR "
+                            "(summarize with 'repro report DIR')")
+    serve.add_argument("--trace", metavar="PATH", default=None,
+                       help="write a Chrome-trace JSON of the fleet run")
+    _add_logging_flags(serve)
 
     report = subparsers.add_parser(
         "report", help="summarize a telemetry directory recorded with "
@@ -473,6 +528,76 @@ def _command_baselines(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    import dataclasses
+    import json as json_module
+
+    from .core.evaluation import instantiate_agent
+    from .emulation import EmulationConfig, Fleet, FleetConfig, LinkConfig
+
+    if args.sessions < 1:
+        logger.error("--sessions must be at least 1")
+        return 1
+    _apply_engine_flags(args)
+    sink = _start_telemetry(args)
+    spec = ENVIRONMENTS[args.environment]
+    _, test = build_dataset(args.environment, seed=args.seed,
+                            scale=args.dataset_scale)
+    video = synthetic_video(spec.bitrate_ladder, num_chunks=args.num_chunks,
+                            seed=args.seed)
+    agent = instantiate_agent(None, None, video, test, seed=args.seed)
+    config = FleetConfig(
+        emulation=EmulationConfig(
+            link=dataclasses.replace(LinkConfig(),
+                                     delivery_engine=args.delivery_engine)),
+        arrival_process=args.arrival,
+        arrival_rate_per_s=args.arrival_rate,
+        batch_window_s=args.batch_window,
+        max_batch=args.max_batch,
+    )
+    fleet = Fleet(video, list(test), config=config)
+    logger.info("serving %d sessions over %d %s traces "
+                "(arrival=%s, batch window=%.3fs, engine=%s)",
+                args.sessions, len(test), spec.display_name, args.arrival,
+                args.batch_window, args.delivery_engine)
+    result = fleet.run(agent, args.sessions, greedy=not args.stochastic,
+                       sample_seed=args.sample_seed)
+    metrics = result.metrics
+    payload = {
+        "environment": args.environment,
+        "traces": len(test),
+        "arrival_process": args.arrival,
+        "delivery_engine": args.delivery_engine,
+        "greedy": not args.stochastic,
+        "mean_qoe_per_chunk": result.mean_reward,
+        "metrics": metrics.to_dict(),
+    }
+    if args.json:
+        print(json_module.dumps(payload, indent=2))
+    else:
+        rows = [
+            ["sessions", f"{metrics.num_sessions}"],
+            ["decisions", f"{metrics.num_decisions}"],
+            ["ticks (batched forwards)", f"{metrics.num_ticks}"],
+            ["mean / max batch", f"{metrics.mean_batch_size:.1f} / "
+                                 f"{metrics.max_batch_size}"],
+            ["wall time", f"{metrics.wall_s:.3f} s"],
+            ["decisions/s", f"{metrics.decisions_per_s:,.0f}"],
+            ["sessions/s", f"{metrics.sessions_per_s:,.1f}"],
+            ["decision latency p50", f"{metrics.p50_decision_latency_s * 1e3:.3f} ms"],
+            ["decision latency p95", f"{metrics.p95_decision_latency_s * 1e3:.3f} ms"],
+            ["decision latency p99", f"{metrics.p99_decision_latency_s * 1e3:.3f} ms"],
+            ["mean QoE per chunk", f"{result.mean_reward:.3f}"],
+        ]
+        print(render_table(["metric", "value"], rows,
+                           title=f"repro serve: {args.sessions} sessions on "
+                                 f"{spec.display_name} "
+                                 f"({len(test)} traces, {args.arrival} "
+                                 f"arrivals)"))
+    _finish_telemetry(args, sink)
+    return 0
+
+
 def _command_report(args: argparse.Namespace) -> int:
     import json as json_module
 
@@ -571,6 +696,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "campaign": _command_campaign,
         "traces": _command_traces,
         "baselines": _command_baselines,
+        "serve": _command_serve,
         "report": _command_report,
         "lint": _command_lint,
     }

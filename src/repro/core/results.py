@@ -381,7 +381,60 @@ class ResultStore:
         which case the existing record is left untouched — first writer
         wins, so a key is never silently overwritten.
         """
-        record = self._encode_record(run, meta)
+        return self._publish_record(key, self._encode_record(run, meta))
+
+    # ------------------------------------------------------------------ #
+    # Generic JSON payload records (emulation results and other non-training
+    # consumers) share the verified-CAS machinery of put_run/peek_run.
+    # ------------------------------------------------------------------ #
+    def put_payload(self, key: str, payload: Dict[str, Any],
+                    meta: Optional[Dict[str, Any]] = None) -> bool:
+        """Persist an arbitrary JSON-serializable payload under ``key``.
+
+        Same verified compare-and-swap semantics as :meth:`put_run`; the
+        record carries a ``payload`` block instead of a ``run`` block, so
+        the two record kinds can never be confused on read-back.
+        """
+        if not isinstance(payload, dict):
+            raise TypeError("payload must be a JSON-serializable dict")
+        record = {"schema": _SCHEMA_VERSION, "meta": meta or {},
+                  "payload": payload}
+        return self._publish_record(key, record)
+
+    def get_payload(self, key: str) -> Optional[Dict[str, Any]]:
+        """Load one payload record, counting the lookup as a hit or miss."""
+        payload = self.peek_payload(key)
+        if payload is None:
+            self.misses += 1
+            telemetry.counter("store.miss")
+        else:
+            self.hits += 1
+            telemetry.counter("store.hit")
+        return payload
+
+    def peek_payload(self, key: str) -> Optional[Dict[str, Any]]:
+        """Load one payload record without touching the hit/miss counters."""
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                record = json.load(handle)
+        except FileNotFoundError:
+            return None
+        except OSError:
+            logger.warning("unreadable store record %s… treated as a miss",
+                           key[:12])
+            return None
+        except json.JSONDecodeError:
+            self._quarantine(key, path, "undecodable JSON")
+            return None
+        payload = record.get("payload") if isinstance(record, dict) else None
+        if not isinstance(payload, dict):
+            self._quarantine(key, path, "malformed payload")
+            return None
+        return payload
+
+    def _publish_record(self, key: str, record: Dict[str, Any]) -> bool:
+        """Verified CAS publish shared by :meth:`put_run`/:meth:`put_payload`."""
         path = self._path(key)
         os.makedirs(os.path.dirname(path), exist_ok=True)
         for _ in range(self._WRITE_ATTEMPTS):
@@ -422,8 +475,7 @@ class ResultStore:
                 raise
             self.puts += 1
             telemetry.counter("store.put")
-            logger.debug("stored run for seed %d under %s…", run.seed,
-                         key[:12])
+            logger.debug("stored record under %s…", key[:12])
             return True
         raise OSError(f"could not persist record {key[:12]}… intact after "
                       f"{self._WRITE_ATTEMPTS} attempts")

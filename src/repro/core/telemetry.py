@@ -482,6 +482,18 @@ def summarize(events: Sequence[TelemetryEvent]) -> Dict[str, Any]:
             "leases_contended": int(counters.get("store.lease_contended", 0.0)),
             "leases_stolen": int(counters.get("store.lease_stolen", 0.0)),
         },
+        "serving": {
+            "fleet_runs": int(spans.get("serve.fleet_run", {}).get("count", 0)),
+            "sessions": int(counters.get("serve.sessions_completed", 0.0)),
+            "decisions": int(counters.get("serve.decisions", 0.0)),
+            "ticks": int(counters.get("serve.ticks", 0.0)),
+            "decide_s": counters.get("serve.decide_s", 0.0),
+            "wall_s": counters.get("serve.wall_s", 0.0),
+            "decisions_per_s": (
+                counters.get("serve.decisions", 0.0)
+                / counters.get("serve.wall_s", 0.0)
+                if counters.get("serve.wall_s", 0.0) > 0 else None),
+        },
         "designs": slowest,
         "series": series_stats,
     }
@@ -541,6 +553,18 @@ def render_report(events: Sequence[TelemetryEvent], top: int = 8) -> str:
                  f"{faults['leases_acquired']} acquired / "
                  f"{faults['leases_contended']} contended / "
                  f"{faults['leases_stolen']} stolen")
+
+    serving = summary["serving"]
+    if serving["fleet_runs"]:
+        rate = serving["decisions_per_s"]
+        rate_text = f"{rate:,.0f} decisions/s" if rate is not None else "n/a"
+        batch = (serving["decisions"] / serving["ticks"]
+                 if serving["ticks"] else 0.0)
+        lines.append(f"serving           : {serving['fleet_runs']} fleet "
+                     f"run(s), {serving['sessions']} sessions, "
+                     f"{serving['decisions']} decisions in "
+                     f"{serving['ticks']} ticks "
+                     f"(mean batch {batch:.1f}), {rate_text}")
 
     if summary["designs"]:
         lines.append("slowest designs   :")

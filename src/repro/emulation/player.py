@@ -92,12 +92,46 @@ class DashPlayer:
         return self._next_chunk >= self.video.num_chunks
 
     @property
+    def clock_s(self) -> float:
+        """The player's virtual wall clock (seconds since session start)."""
+        return self._clock_s
+
+    @property
+    def next_chunk_index(self) -> int:
+        """Index of the next chunk the player will request."""
+        return self._next_chunk
+
+    @property
     def startup_delay_s(self) -> float:
         return self._startup_delay_s if self._startup_delay_s is not None else 0.0
 
     @property
     def total_stall_s(self) -> float:
         return float(sum(r.rebuffer_s for r in self.records))
+
+    # ------------------------------------------------------------------ #
+    def bind_history_buffers(self, bitrate: np.ndarray, throughput: np.ndarray,
+                             download_time: np.ndarray, buffer: np.ndarray) -> None:
+        """Re-home the four history windows into caller-owned buffers.
+
+        The fleet harness passes row views of its stacked ``(sessions, H)``
+        arrays so that the player's in-place history pushes keep the stacked
+        arrays current — the batched state builder then reads every session's
+        history without per-session gathering.  The buffers receive the
+        current history contents; semantics of :meth:`observe` and
+        :meth:`step` are unchanged (observations still hand out copies).
+        """
+        for target, source in ((bitrate, self._bitrate_history),
+                               (throughput, self._throughput_history),
+                               (download_time, self._download_time_history),
+                               (buffer, self._buffer_history)):
+            if target.shape != source.shape:
+                raise ValueError("history buffer shape mismatch")
+            target[:] = source
+        self._bitrate_history = bitrate
+        self._throughput_history = throughput
+        self._download_time_history = download_time
+        self._buffer_history = buffer
 
     # ------------------------------------------------------------------ #
     def observe(self) -> Observation:

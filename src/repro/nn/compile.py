@@ -1030,6 +1030,31 @@ class CompiledPlan:
         return cached
 
     def policy_probs(self, states: np.ndarray) -> np.ndarray:
+        states = np.asarray(states, dtype=self.dtype)
+        if states.ndim == len(self.network.state_shape):
+            states = states[None, ...]
+        return self.policy_probs_batch(states)
+
+    def policy_probs_batch(self, states: np.ndarray) -> np.ndarray:
+        """Action probabilities for a strict ``(batch, *state_shape)`` block.
+
+        The serving entry point: the fleet harness stacks one state per
+        session needing a decision this tick and makes ONE call here, so the
+        cost per decision is one GEMM row of the version-cached actor chain
+        instead of one Python forward per player.  Every op in the chain is
+        row-independent (GEMMs, elementwise activations, per-row softmax),
+        so row ``i`` of the result is bit-identical to calling
+        :meth:`policy_probs` on ``states[i]`` alone — which is what lets
+        batched serving stay session-for-session identical to serial
+        emulation.  Unlike :meth:`policy_probs` this entry refuses to guess
+        about a missing batch axis: serving code that dropped the axis has a
+        bug, not an implicit batch of one.
+        """
+        states = np.asarray(states, dtype=self.dtype)
+        if states.ndim != len(self.network.state_shape) + 1:
+            raise ValueError(
+                f"expected (batch, *{self.network.state_shape}) states, got "
+                f"shape {states.shape}")
         return self.inference().probs(states)
 
 

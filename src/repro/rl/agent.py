@@ -101,6 +101,33 @@ class ABRAgent:
             return greedy_action(probabilities)
         return sample_action(probabilities, self._rng)
 
+    def act_batch(self, observations, greedy: bool = False,
+                  rngs=None) -> list:
+        """Choose a bitrate for each of many *independent* observations.
+
+        The whole batch goes through ONE :meth:`policy_probs` forward (a
+        single GEMM on the compiled/folded inference path) instead of one
+        Python forward per observation; row ``i`` of the batched forward is
+        bit-identical to ``policy_probs`` on observation ``i`` alone, so the
+        chosen actions match per-observation :meth:`act` calls exactly.
+
+        ``rngs`` optionally supplies one ``np.random.Generator`` per
+        observation for stochastic selection (the fleet harness passes each
+        session's private generator so the draw discipline matches a serial
+        per-session run); when omitted the agent's own RNG draws in batch
+        order.
+        """
+        if not observations:
+            return []
+        states = np.stack([self.state_of(obs) for obs in observations])
+        all_probs = self.network.policy_probs(states)
+        if greedy:
+            return [greedy_action(probs) for probs in all_probs]
+        if rngs is None:
+            return [sample_action(probs, self._rng) for probs in all_probs]
+        return [sample_action(probs, rng)
+                for probs, rng in zip(all_probs, rngs)]
+
     # ------------------------------------------------------------------ #
     def greedy_policy(self):
         """A plain ``observation -> action`` callable using greedy decisions."""

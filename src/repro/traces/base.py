@@ -99,6 +99,21 @@ class Trace:
         index = max(0, min(index, len(self.throughputs_mbps) - 1))
         return float(self.throughputs_mbps[index])
 
+    def throughputs_at(self, times_s: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`throughput_at` over an array of sample times.
+
+        Applies the exact wrap/lookup arithmetic of the scalar method
+        elementwise, so ``throughputs_at(t)[i]`` is bit-identical to
+        ``throughput_at(t[i])``.  The emulation link uses this to sample one
+        delivery window per trace granularity step in a single call instead
+        of thousands of scalar lookups.
+        """
+        times = np.asarray(times_s, dtype=np.float64)
+        wrapped = (times - self.timestamps_s[0]) % self.duration_s + self.timestamps_s[0]
+        index = np.searchsorted(self.timestamps_s, wrapped, side="right") - 1
+        np.clip(index, 0, len(self.throughputs_mbps) - 1, out=index)
+        return self.throughputs_mbps[index]
+
     def iter_segments(self) -> Iterator[Tuple[float, float, float]]:
         """Yield ``(start_s, duration_s, throughput_mbps)`` segments."""
         for i in range(len(self.timestamps_s) - 1):
