@@ -1,6 +1,6 @@
 """Repo contract linter: enforce the invariants CI kept re-fixing by hand.
 
-:func:`lint_repo` runs four checks over ``src/repro`` itself and returns
+:func:`lint_repo` runs five checks over ``src/repro`` itself and returns
 :class:`~repro.analysis.staticcheck.findings.AuditFinding`s (family
 ``repo``).  It is wired into ``repro lint --self`` and ``make lint`` as a
 fail-the-build job.
@@ -28,6 +28,11 @@ fail-the-build job.
     The module-level telemetry helpers (``span``/``counter``/``series``)
     must not allocate on the disabled path: read ``_ACTIVE`` into a local,
     guard on ``None``, and keep every allocation inside the enabled branch.
+``repo.fault-coverage``
+    Every site in :data:`~repro.core.faults.FAULT_SITES` must be named by
+    at least one test under ``tests/`` — an injection site no test fires is
+    a recovery path that can rot silently, which defeats the point of
+    deterministic chaos coverage.
 """
 
 from __future__ import annotations
@@ -424,6 +429,45 @@ def _check_telemetry_noop(root: Path,
 
 
 # --------------------------------------------------------------------------- #
+# repo.fault-coverage
+# --------------------------------------------------------------------------- #
+def _check_fault_coverage(root: Path,
+                          sites: Optional[frozenset] = None
+                          ) -> List[AuditFinding]:
+    """Every fault site must be named by at least one test file.
+
+    A literal-substring scan over ``tests/*.py`` is deliberately simple:
+    fault sites are dotted string constants, so a test that fires one
+    necessarily spells it out (in a ``FaultRule``, a ``--faults`` spec or a
+    ``from_spec`` string).  ``sites`` overrides :data:`FAULT_SITES` for the
+    linter's own tests.
+    """
+    if sites is None:
+        from ...core.faults import FAULT_SITES
+        sites = FAULT_SITES
+    try:
+        tests_dir = root.parents[1] / "tests"
+    except IndexError:
+        return []
+    if not tests_dir.is_dir():
+        # Linting a synthetic source tree (the linter's own tests do this):
+        # there is no test corpus to check against.
+        return []
+    corpus = "\n".join(p.read_text(encoding="utf-8", errors="replace")
+                       for p in sorted(tests_dir.glob("*.py")))
+    findings = []
+    faults_path = root / "core" / "faults.py"
+    for site in sorted(sites):
+        if site not in corpus:
+            findings.append(_finding(
+                "repo.fault-coverage",
+                f"fault site {site!r} is declared in FAULT_SITES but no "
+                "test under tests/ names it — add a firing test so the "
+                "recovery path cannot rot silently", faults_path, root))
+    return findings
+
+
+# --------------------------------------------------------------------------- #
 def lint_repo(src_root: Optional[str] = None) -> List[AuditFinding]:
     """Lint the repository's own library code; returns all findings."""
     root = Path(src_root) if src_root else _repo_source_root()
@@ -442,5 +486,6 @@ def lint_repo(src_root: Optional[str] = None) -> List[AuditFinding]:
         findings.extend(_check_picklability(path, tree, root))
     findings.extend(_check_store_keys(root, trees))
     findings.extend(_check_telemetry_noop(root, trees))
+    findings.extend(_check_fault_coverage(root))
     findings.sort(key=lambda f: (f.file, f.line, f.rule))
     return findings

@@ -27,6 +27,12 @@ The subcommands cover the common workflows:
     mix), answering each decision tick with one batched policy forward, and
     report decisions/sec, sessions/sec and p50/p95/p99 decision latency.
 
+``worker``
+    Connect to a campaign coordinator (``--backend remote`` on ``run`` /
+    ``campaign``) and pull evaluation jobs until told to stop.  Normally
+    launched automatically as subprocesses by the coordinator; run it by
+    hand to attach extra workers to a live campaign.
+
 ``report``
     Summarize a telemetry directory recorded with ``--telemetry DIR``: cache
     hit-rate, worker utilization, top time sinks, the compile fallback table
@@ -66,8 +72,10 @@ import numpy as np
 from . import nn
 from .abr import make_baseline, run_session, synthetic_video
 from .analysis import render_table
-from .core import (EvaluationConfig, NadaCampaign, NadaConfig, NadaPipeline,
-                   ResultStore, faults, telemetry)
+from .core import (CampaignScheduler, EvaluationConfig, NadaCampaign,
+                   NadaConfig, NadaPipeline, NoWorkersError, ParallelConfig,
+                   RemoteConfig, RemoteExecutor, ResultStore, faults,
+                   telemetry)
 from .log import configure as configure_logging, get_logger
 from .rl import A2CConfig
 from .traces import ENVIRONMENTS, build_dataset, list_environments, save_traceset
@@ -167,7 +175,33 @@ def _add_campaign_flags(parser: argparse.ArgumentParser) -> None:
                              "'site[:match[:times[:delay]]]' elements and an "
                              "optional 'seed=N' (sites: job.exception, "
                              "job.crash, job.timeout, job.interrupt, "
-                             "store.torn_write, store.lease_hold)")
+                             "store.torn_write, store.lease_hold, "
+                             "rpc.worker_crash, rpc.conn_drop, "
+                             "rpc.heartbeat_loss, rpc.result_delay)")
+    parser.add_argument("--backend", choices=["local", "remote"],
+                        default="local",
+                        help="job execution transport: 'local' (the in-"
+                             "process pool behind --workers) or 'remote' "
+                             "(a TCP coordinator serving pulled jobs to "
+                             "'repro worker' subprocesses with heartbeats "
+                             "and work-stealing)")
+    parser.add_argument("--remote-workers", type=int, default=2,
+                        help="worker subprocesses launched for "
+                             "--backend remote")
+    parser.add_argument("--remote-port", type=int, default=0,
+                        help="coordinator TCP port for --backend remote "
+                             "(0 picks a free port); extra workers can join "
+                             "with 'repro worker --connect host:port'")
+    parser.add_argument("--remote-fallback", choices=["local", "fail"],
+                        default="local",
+                        help="what --backend remote does when every worker "
+                             "is lost past the deadline: finish the batch "
+                             "locally, or fail with a resume-from-store "
+                             "message (exit code 3)")
+    parser.add_argument("--remote-deadline", type=_positive_float,
+                        default=30.0, metavar="SECONDS",
+                        help="how long --backend remote tolerates an empty "
+                             "worker pool before applying --remote-fallback")
     parser.add_argument("--dtype", choices=["float32", "float64"], default="float64",
                         help="tensor dtype: float64 (accuracy-first default) or "
                              "float32 (fast path)")
@@ -297,6 +331,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write a Chrome-trace JSON of the fleet run")
     _add_logging_flags(serve)
 
+    worker = subparsers.add_parser(
+        "worker",
+        help="connect to a campaign coordinator and pull evaluation jobs "
+             "(normally launched by --backend remote itself)")
+    worker.add_argument("--connect", required=True, metavar="HOST:PORT",
+                        help="the coordinator's listening address")
+    _add_logging_flags(worker)
+
     report = subparsers.add_parser(
         "report", help="summarize a telemetry directory recorded with "
                        "--telemetry")
@@ -406,14 +448,45 @@ def _finish_telemetry(args: argparse.Namespace,
     telemetry.disable()
 
 
+def _build_remote_scheduler(args: argparse.Namespace,
+                            store: Optional[ResultStore]
+                            ) -> Tuple[Optional[CampaignScheduler],
+                                       Optional[RemoteExecutor]]:
+    """The (scheduler, executor) pair for ``--backend remote``, else Nones.
+
+    Mirrors the :class:`ParallelConfig` the pipeline would build itself, so
+    retry/backoff/timeout semantics are identical across backends; the
+    executor's worker subprocesses are launched immediately so they connect
+    while designs are still being generated.
+    """
+    if getattr(args, "backend", "local") != "remote":
+        return None, None
+    executor = RemoteExecutor(RemoteConfig(
+        port=args.remote_port,
+        fallback=args.remote_fallback,
+        worker_deadline_s=args.remote_deadline))
+    executor.launch_workers(args.remote_workers)
+    scheduler = CampaignScheduler(
+        parallel=ParallelConfig(max_workers=args.workers,
+                                max_retries=args.max_retries,
+                                job_timeout=args.job_timeout),
+        store=store, executor=executor)
+    host, port = executor.address
+    logger.info("remote backend: coordinator on %s:%d, %d worker "
+                "subprocess(es) (attach more with "
+                "'repro worker --connect %s:%d')",
+                host, port, args.remote_workers, host, port)
+    return scheduler, executor
+
+
 def _run_campaign(args: argparse.Namespace, environments: List[str]) -> int:
     """Sweep the named environments through one scheduled work-graph."""
     _apply_engine_flags(args)
     _install_faults(args)
     sink = _start_telemetry(args)
     store = ResultStore(args.store) if args.store else None
+    scheduler, executor = _build_remote_scheduler(args, store)
     pipelines = {}
-    scheduler = None
     for environment in environments:
         pipeline = NadaPipeline.for_environment(
             environment, config=_campaign_config(args, environment),
@@ -425,9 +498,10 @@ def _run_campaign(args: argparse.Namespace, environments: List[str]) -> int:
         pipelines[environment] = pipeline
     campaign = NadaCampaign(pipelines, scheduler=scheduler)
     logger.info("running Nada campaign on %s (target=%s, llm=%s, "
-                "designs=%d/component, workers=%s)",
+                "designs=%d/component, backend=%s, workers=%s)",
                 ", ".join(environments), args.target, args.llm,
-                args.num_designs, args.workers)
+                args.num_designs, getattr(args, "backend", "local"),
+                args.workers)
     try:
         result = campaign.run()
     except KeyboardInterrupt:
@@ -436,8 +510,18 @@ def _run_campaign(args: argparse.Namespace, environments: List[str]) -> int:
         _report_failures(scheduler)
         _finish_telemetry(args, sink)
         return 130
+    except NoWorkersError as exc:
+        logger.error("%s", exc)
+        logger.error("completed results were persisted%s; re-run the same "
+                     "command to resume from the store",
+                     f" to {args.store}" if args.store else "")
+        _report_failures(scheduler)
+        _finish_telemetry(args, sink)
+        return 3
     finally:
         faults.clear_plan()
+        if executor is not None:
+            executor.close()
     print(result.summary())
     if getattr(args, "show_code", False):
         for environment in environments:
@@ -461,9 +545,13 @@ def _command_run(args: argparse.Namespace) -> int:
     _install_faults(args)
     sink = _start_telemetry(args)
     config = _campaign_config(args, args.environment)
+    store = (ResultStore(args.store)
+             if args.store and args.backend == "remote" else None)
+    scheduler, executor = _build_remote_scheduler(args, store)
     pipeline = NadaPipeline.for_environment(
         args.environment, config=config, dataset_scale=args.dataset_scale,
-        num_chunks=args.num_chunks, seed=args.seed)
+        num_chunks=args.num_chunks, seed=args.seed, scheduler=scheduler,
+        store=store)
     logger.info("running Nada on %s (target=%s, llm=%s, designs=%d, "
                 "epochs=%d)", args.environment, args.target, args.llm,
                 args.num_designs, config.evaluation.train_epochs)
@@ -475,8 +563,18 @@ def _command_run(args: argparse.Namespace) -> int:
         _report_failures(pipeline.scheduler)
         _finish_telemetry(args, sink)
         return 130
+    except NoWorkersError as exc:
+        logger.error("%s", exc)
+        logger.error("completed results were persisted%s; re-run the same "
+                     "command to resume from the store",
+                     f" to {args.store}" if args.store else "")
+        _report_failures(pipeline.scheduler)
+        _finish_telemetry(args, sink)
+        return 3
     finally:
         faults.clear_plan()
+        if executor is not None:
+            executor.close()
     print(result.summary())
     if args.show_code and result.best_design is not None:
         print()
@@ -598,6 +696,16 @@ def _command_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_worker(args: argparse.Namespace) -> int:
+    from .core.distributed import run_worker
+
+    host, _, port = args.connect.rpartition(":")
+    if not host or not port.isdigit():
+        logger.error("--connect expects HOST:PORT, got %r", args.connect)
+        return 2
+    return run_worker(host, int(port))
+
+
 def _command_report(args: argparse.Namespace) -> int:
     import json as json_module
 
@@ -697,6 +805,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "traces": _command_traces,
         "baselines": _command_baselines,
         "serve": _command_serve,
+        "worker": _command_worker,
         "report": _command_report,
         "lint": _command_lint,
     }

@@ -33,6 +33,8 @@ from .filters import (
     NormalizationCheck,
     random_observation,
 )
+from .distributed import (NoWorkersError, RemoteConfig, RemoteExecutor,
+                          run_worker)
 from .faults import (FaultPlan, FaultRule, InjectedFault, clear_plan,
                      inject, install_plan)
 from .generation import DesignGenerator, GenerationConfig
@@ -104,6 +106,8 @@ __all__ = [
     "CampaignScheduler", "EvaluationJob", "JobResult", "protocol_score",
     "ResultStore", "Lease", "design_fingerprint", "context_fingerprint",
     "result_key",
+    # distributed transport
+    "NoWorkersError", "RemoteConfig", "RemoteExecutor", "run_worker",
     # telemetry
     "telemetry", "Telemetry", "TelemetryEvent",
     # pipeline

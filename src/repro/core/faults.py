@@ -33,6 +33,23 @@ Sites
     Plant a foreign lease (aged by ``delay_s`` seconds) on a key just before
     the store tries to claim it, forcing the contention or stale-takeover
     path.
+``rpc.worker_crash``
+    Kill a remote campaign worker (``repro worker``) with ``os._exit`` upon
+    receiving a matching JOB — the coordinator must detect the lost
+    connection, requeue the job and respawn the subprocess.
+``rpc.conn_drop``
+    Make a remote worker close its coordinator connection upon receiving a
+    matching JOB and reconnect — the coordinator must requeue the in-flight
+    job and accept the fresh HELLO.
+``rpc.heartbeat_loss``
+    Suppress a remote worker's heartbeats and stall it ``delay_s`` seconds
+    before executing a matching job, so the coordinator's heartbeat deadline
+    revokes the assignment; the worker then finishes anyway and its stale
+    RESULT must be fenced by the assignment-epoch check.
+``rpc.result_delay``
+    Delay a remote worker's RESULT by ``delay_s`` seconds after computing it
+    (heartbeats keep flowing) — shuffling network arrival order to prove the
+    submission-order telemetry/result merge is arrival-order independent.
 
 Determinism
 -----------
@@ -75,6 +92,8 @@ __all__ = [
     "inject",
     "perturb_job",
     "in_worker_process",
+    "store_rule",
+    "rpc_rule",
 ]
 
 logger = get_logger("faults")
@@ -88,6 +107,10 @@ FAULT_SITES = frozenset({
     "job.interrupt",
     "store.torn_write",
     "store.lease_hold",
+    "rpc.worker_crash",
+    "rpc.conn_drop",
+    "rpc.heartbeat_loss",
+    "rpc.result_delay",
 })
 
 
@@ -280,6 +303,19 @@ def perturb_job(key: str, attempt: int) -> None:
 
 def store_rule(site: str, key: str, occurrence: int) -> Optional[FaultRule]:
     """Consult a ``store.*`` site; the store applies the effect itself."""
+    plan = _PLAN
+    if plan is None:
+        return None
+    return plan.should_fire(site, key, occurrence)
+
+
+def rpc_rule(site: str, key: str, occurrence: int) -> Optional[FaultRule]:
+    """Consult an ``rpc.*`` site; the transport applies the effect itself.
+
+    ``key`` is the work item's fault key (the scheduler's job label) and
+    ``occurrence`` its attempt number, so remote chaos plans share the
+    job-site determinism contract.
+    """
     plan = _PLAN
     if plan is None:
         return None

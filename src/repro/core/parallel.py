@@ -161,6 +161,7 @@ def run_resilient(fn: Callable[[T, int], R], items: Sequence[T],
                   config: Optional[ParallelConfig] = None,
                   should_stop: Optional[Callable[[], bool]] = None,
                   heartbeat: Optional[Callable[[], None]] = None,
+                  initial_failures: Optional[Sequence[int]] = None,
                   ) -> List[TaskOutcome]:
     """Map ``fn(item, attempt)`` over ``items`` with failure isolation.
 
@@ -184,6 +185,11 @@ def run_resilient(fn: Callable[[T, int], R], items: Sequence[T],
     deterministic fault plans can key off it.  Outcomes preserve submission
     order, and retried attempts run exactly the code a first attempt runs,
     so recovered results are bit-identical to undisturbed ones.
+
+    ``initial_failures`` seeds each item's attempt counter (same length as
+    ``items``) — used when another executor hands a partially-failed batch
+    over (the remote transport's local fallback), so retry budgets and
+    fault-plan occurrence indices continue instead of restarting.
     """
     config = config or ParallelConfig()
     items = list(items)
@@ -193,14 +199,16 @@ def run_resilient(fn: Callable[[T, int], R], items: Sequence[T],
              if tel is not None else None)
     if workers <= 1 or len(items) < max(config.chunk_threshold, 2):
         with telemetry.span("parallel.map", attrs):
-            return _run_serial(fn, items, config, should_stop, heartbeat)
+            return _run_serial(fn, items, config, should_stop, heartbeat,
+                               initial_failures)
     workers = min(workers, len(items))
     if attrs is not None:
         attrs["workers"] = workers
     with telemetry.span("parallel.map", attrs):
         driver = _ResilientDriver(fn, items, config, workers,
                                   should_stop=should_stop,
-                                  heartbeat=heartbeat)
+                                  heartbeat=heartbeat,
+                                  initial_failures=initial_failures)
         try:
             return driver.run()
         except (OSError, PermissionError, pickle.PicklingError,
@@ -212,7 +220,8 @@ def run_resilient(fn: Callable[[T, int], R], items: Sequence[T],
                 f"falling back to serial execution")
             if tel is not None:
                 tel.counter("parallel.serial_fallback")
-            return _run_serial(fn, items, config, should_stop, heartbeat)
+            return _run_serial(fn, items, config, should_stop, heartbeat,
+                               initial_failures)
 
 
 def _describe(exc: BaseException) -> str:
@@ -223,6 +232,7 @@ def _run_serial(fn: Callable[[T, int], R], items: Sequence[T],
                 config: ParallelConfig,
                 should_stop: Optional[Callable[[], bool]],
                 heartbeat: Optional[Callable[[], None]] = None,
+                initial_failures: Optional[Sequence[int]] = None,
                 ) -> List[TaskOutcome]:
     """In-process execution with the same retry/quarantine semantics.
 
@@ -240,7 +250,7 @@ def _run_serial(fn: Callable[[T, int], R], items: Sequence[T],
                                         error="shutdown requested"))
             interrupted = True
             continue
-        attempt = 0
+        attempt = initial_failures[index] if initial_failures else 0
         while True:
             try:
                 value = fn(item, attempt)
@@ -291,7 +301,8 @@ class _ResilientDriver:
     def __init__(self, fn: Callable[[T, int], R], items: List[T],
                  config: ParallelConfig, workers: int,
                  should_stop: Optional[Callable[[], bool]] = None,
-                 heartbeat: Optional[Callable[[], None]] = None) -> None:
+                 heartbeat: Optional[Callable[[], None]] = None,
+                 initial_failures: Optional[Sequence[int]] = None) -> None:
         self.fn = fn
         self.items = items
         self.config = config
@@ -299,7 +310,8 @@ class _ResilientDriver:
         self.should_stop = should_stop or (lambda: False)
         self.heartbeat = heartbeat or (lambda: None)
         self.outcomes: List[Optional[TaskOutcome]] = [None] * len(items)
-        self.failures = [0] * len(items)
+        self.failures = (list(initial_failures) if initial_failures
+                         else [0] * len(items))
         self.ready_at = [0.0] * len(items)
         self.queue: List[int] = list(range(len(items)))
         self.pool: Optional[ProcessPoolExecutor] = None

@@ -194,17 +194,27 @@ def result_key(context: str, designs: str, seed: int) -> str:
 
 
 class Lease(object):
-    """A held claim on one store key (see :meth:`ResultStore.claim`)."""
+    """A held claim on one store key (see :meth:`ResultStore.claim`).
 
-    __slots__ = ("key", "path", "owner")
+    ``epoch`` is a fencing token: it starts at 1 for a fresh claim and is
+    incremented past the previous holder's epoch on every stale takeover,
+    so a zombie process resurfacing with a lease that was stolen from it can
+    be recognized (its owner no longer matches the lease file) and its put
+    dropped instead of racing the takeover's re-execution.
+    """
 
-    def __init__(self, key: str, path: str, owner: str) -> None:
+    __slots__ = ("key", "path", "owner", "epoch")
+
+    def __init__(self, key: str, path: str, owner: str,
+                 epoch: int = 1) -> None:
         self.key = key
         self.path = path
         self.owner = owner
+        self.epoch = int(epoch)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"Lease({self.key[:12]}…, owner={self.owner})"
+        return (f"Lease({self.key[:12]}…, owner={self.owner}, "
+                f"epoch={self.epoch})")
 
 
 class ResultStore:
@@ -244,6 +254,9 @@ class ResultStore:
         self.lease_contended = 0
         self.lease_stolen = 0
         self.lease_released = 0
+        #: Puts dropped because the caller's lease was stolen while the job
+        #: was away (a zombie worker publishing after a takeover).
+        self.fenced_puts = 0
         #: Per-(site, key) operation indices for deterministic fault rules.
         self._op_counts: Dict[Tuple[str, str], int] = {}
 
@@ -370,7 +383,8 @@ class ResultStore:
         return record
 
     def put_run(self, key: str, run: "TrainingRun",
-                meta: Optional[Dict[str, Any]] = None) -> bool:
+                meta: Optional[Dict[str, Any]] = None,
+                lease: Optional[Lease] = None) -> bool:
         """Persist one run under ``key`` with a verified compare-and-swap.
 
         The record is written to a temp file, read back and parsed (a torn
@@ -380,7 +394,20 @@ class ResultStore:
         record; False when another process already had (``put_races``), in
         which case the existing record is left untouched — first writer
         wins, so a key is never silently overwritten.
+
+        When ``lease`` is given, the put is **fenced**: it is dropped
+        (``fenced_puts``) unless the lease file still names ``lease.owner``
+        — a caller whose lease went stale and was stolen while its job was
+        away (a zombie worker) must not race the takeover's re-execution.
         """
+        if lease is not None and self.lease_owner(key) != lease.owner:
+            self.fenced_puts += 1
+            telemetry.counter("store.put_fenced")
+            logger.warning(
+                "fenced put dropped for %s…: lease epoch %d owned by %s was "
+                "stolen (now %s)", key[:12], lease.epoch, lease.owner,
+                self.lease_owner(key))
+            return False
         return self._publish_record(key, self._encode_record(run, meta))
 
     # ------------------------------------------------------------------ #
@@ -510,6 +537,7 @@ class ResultStore:
             self._plant_foreign_lease(path, age_s=held.delay_s)
         # Two passes: the second retries the O_EXCL create after a stale
         # lease was renamed aside (by us or by a racing claimant).
+        epoch = 1
         for _ in range(2):
             try:
                 fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
@@ -522,6 +550,9 @@ class ResultStore:
                     self.lease_contended += 1
                     telemetry.counter("store.lease_contended")
                     return None
+                # Fence the dead owner: our epoch must exceed whatever the
+                # stale lease carried (read before the rename destroys it).
+                epoch = max(epoch, self._lease_epoch(path) + 1)
                 aside = f"{path}.stale.{os.getpid()}"
                 try:
                     os.rename(path, aside)
@@ -538,10 +569,11 @@ class ResultStore:
                 continue
             owner = self.owner_token
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump({"owner": owner, "ts": time.time()}, handle)
+                json.dump({"owner": owner, "ts": time.time(),
+                           "epoch": epoch}, handle)
             self.lease_acquired += 1
             telemetry.counter("store.lease_acquired")
-            return Lease(key, path, owner)
+            return Lease(key, path, owner, epoch)
         self.lease_contended += 1
         telemetry.counter("store.lease_contended")
         return None
@@ -583,6 +615,15 @@ class ResultStore:
         except (OSError, json.JSONDecodeError):
             return None
 
+    @staticmethod
+    def _lease_epoch(path: str) -> int:
+        """The fencing epoch in a lease file (0 for pre-epoch/garbled ones)."""
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                return int(json.load(handle).get("epoch", 0))
+        except (OSError, ValueError, TypeError, json.JSONDecodeError):
+            return 0
+
     # ------------------------------------------------------------------ #
     def statistics(self) -> Dict[str, int]:
         return {"records": len(self), "hits": self.hits, "misses": self.misses,
@@ -592,4 +633,5 @@ class ResultStore:
                 "lease_acquired": self.lease_acquired,
                 "lease_contended": self.lease_contended,
                 "lease_stolen": self.lease_stolen,
-                "lease_released": self.lease_released}
+                "lease_released": self.lease_released,
+                "fenced_puts": self.fenced_puts}

@@ -188,6 +188,10 @@ class _JobTask:
     #: matter where the job lands.
     fault_plan: Optional[FaultPlan] = None
 
+    def fault_key(self) -> str:
+        """The key ``rpc.*`` fault rules match for this task (remote path)."""
+        return _job_fault_key(self.job)
+
 
 def _run_job_task(
         task: _JobTask, attempt: int = 0,
@@ -245,9 +249,17 @@ class CampaignScheduler:
     """
 
     def __init__(self, parallel: Optional[ParallelConfig] = None,
-                 store: Optional[ResultStore] = None) -> None:
+                 store: Optional[ResultStore] = None,
+                 executor: Optional[Any] = None) -> None:
         self.parallel = parallel or ParallelConfig()
         self.store = store
+        #: Optional execution transport (e.g.
+        #: :class:`~repro.core.distributed.RemoteExecutor`).  Anything with
+        #: ``run(fn, items, config, should_stop=None, heartbeat=None) ->
+        #: List[TaskOutcome]`` — the :func:`run_resilient` signature — can
+        #: stand in for the local process pool; results must preserve
+        #: submission order so the telemetry/record merge is unchanged.
+        self.executor = executor
         #: Context fingerprints are O(dataset) to compute, so they are
         #: memoized per live trainer instance (trainers are reused across
         #: jobs).  Weak keys mean a recycled object address can never serve
@@ -381,7 +393,8 @@ class CampaignScheduler:
         return runs
 
     def _persist(self, job: EvaluationJob, keys: Optional[List[str]],
-                 runs: Sequence["TrainingRun"]) -> None:
+                 runs: Sequence["TrainingRun"],
+                 leases_by_key: Optional[Dict[str, Lease]] = None) -> None:
         if keys is None:
             return
         meta = {
@@ -391,8 +404,10 @@ class CampaignScheduler:
             "network_design": job.network_design.design_id
             if job.network_design is not None else "original",
         }
+        leases_by_key = leases_by_key or {}
         for key, run in zip(keys, runs):
-            self.store.put_run(key, run, meta={**meta, "seed": run.seed})
+            self.store.put_run(key, run, meta={**meta, "seed": run.seed},
+                               lease=leases_by_key.get(key))
 
     def _splits_without_cost(self, job: EvaluationJob) -> bool:
         """True when per-seed fan-out cannot lose lockstep batching.
@@ -672,7 +687,11 @@ class CampaignScheduler:
         """
         engine = _engine_state()
         plan = faults.get_plan()
-        split = self.parallel.resolved_workers() > 1
+        # Remote workers parallelize like a multi-worker pool, so jobs that
+        # split per-seed under fan-out split the same way for them — record
+        # layout stays identical across backends either way.
+        split = (self.parallel.resolved_workers() > 1
+                 or self.executor is not None)
         parts_per_job: List[List[EvaluationJob]] = []
         subjobs: List[EvaluationJob] = []
         for _, job, _, _ in batch:
@@ -694,9 +713,24 @@ class CampaignScheduler:
         with telemetry.span(
                 "scheduler.execute",
                 {"tasks": len(tasks)} if tel is not None else None):
-            flat = run_resilient(_run_job_task, tasks, self.parallel,
-                                 should_stop=self._shutdown.is_set,
-                                 heartbeat=heartbeat)
+            try:
+                if self.executor is not None:
+                    flat = self.executor.run(_run_job_task, tasks,
+                                             self.parallel,
+                                             should_stop=self._shutdown.is_set,
+                                             heartbeat=heartbeat)
+                else:
+                    flat = run_resilient(_run_job_task, tasks, self.parallel,
+                                         should_stop=self._shutdown.is_set,
+                                         heartbeat=heartbeat)
+            except BaseException:
+                # Transport failure (e.g. NoWorkersError): release every
+                # claimed lease so a resuming campaign need not wait out
+                # the staleness deadline.
+                for _, _, _, leases in batch:
+                    for lease in leases:
+                        self.store.release(lease)
+                raise
         if tel is not None:
             # Order-preserving merge of worker-captured events: the same
             # contract results get, so serial and N-worker executions
@@ -714,7 +748,8 @@ class CampaignScheduler:
             cursor += len(parts)
             try:
                 job_interrupted = self._settle_job(index, job, keys, parts,
-                                                   outcomes, results, tel)
+                                                   outcomes, results, tel,
+                                                   leases)
             finally:
                 for lease in leases:
                     self.store.release(lease)
@@ -744,7 +779,8 @@ class CampaignScheduler:
                     parts: List[EvaluationJob],
                     outcomes: List[TaskOutcome],
                     results: List[Optional[JobResult]],
-                    tel: Optional[telemetry.Telemetry]) -> bool:
+                    tel: Optional[telemetry.Telemetry],
+                    leases: Optional[List[Lease]] = None) -> bool:
         """Aggregate one job's subjob outcomes into a JobResult; persist.
 
         Returns True when any subjob was interrupted mid-shutdown — the
@@ -775,12 +811,13 @@ class CampaignScheduler:
                                    "environment": job.environment})
 
         if ok_keys:
+            leases_by_key = {lease.key: lease for lease in (leases or [])}
             with telemetry.span(
                     "job.persist",
                     {"design": _job_label(job),
                      "environment": job.environment}
                     if tel is not None else None):
-                self._persist(job, ok_keys, runs)
+                self._persist(job, ok_keys, runs, leases_by_key)
             if tel is not None:
                 tel.counter("scheduler.jobs.persisted")
 

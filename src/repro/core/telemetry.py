@@ -481,6 +481,22 @@ def summarize(events: Sequence[TelemetryEvent]) -> Dict[str, Any]:
             "leases_acquired": int(counters.get("store.lease_acquired", 0.0)),
             "leases_contended": int(counters.get("store.lease_contended", 0.0)),
             "leases_stolen": int(counters.get("store.lease_stolen", 0.0)),
+            "fenced_puts": int(counters.get("store.put_fenced", 0.0)),
+        },
+        "distributed": {
+            "workers_connected":
+                int(counters.get("rpc.worker_connected", 0.0)),
+            "workers_lost": int(counters.get("rpc.worker_lost", 0.0)),
+            "workers_respawned":
+                int(counters.get("rpc.worker_respawned", 0.0)),
+            "jobs_dispatched": int(counters.get("rpc.job_dispatched", 0.0)),
+            "results": int(counters.get("rpc.result", 0.0)),
+            "results_fenced": int(counters.get("rpc.result_fenced", 0.0)),
+            "requeues": int(counters.get("rpc.requeued", 0.0)),
+            "heartbeat_timeouts":
+                int(counters.get("rpc.heartbeat_timeout", 0.0)),
+            "local_fallbacks": int(counters.get("rpc.fallback_local", 0.0)),
+            "rejects": int(counters.get("rpc.reject", 0.0)),
         },
         "serving": {
             "fleet_runs": int(spans.get("serve.fleet_run", {}).get("count", 0)),
@@ -552,7 +568,22 @@ def render_report(events: Sequence[TelemetryEvent], top: int = 8) -> str:
                  f"{faults['put_races']} put race(s); leases "
                  f"{faults['leases_acquired']} acquired / "
                  f"{faults['leases_contended']} contended / "
-                 f"{faults['leases_stolen']} stolen")
+                 f"{faults['leases_stolen']} stolen; "
+                 f"{faults['fenced_puts']} fenced put(s)")
+
+    distributed = summary["distributed"]
+    if distributed["workers_connected"] or distributed["jobs_dispatched"]:
+        lines.append(f"distributed       : "
+                     f"{distributed['workers_connected']} worker(s) "
+                     f"connected / {distributed['workers_lost']} lost / "
+                     f"{distributed['workers_respawned']} respawned; "
+                     f"{distributed['jobs_dispatched']} dispatched, "
+                     f"{distributed['results']} results "
+                     f"({distributed['results_fenced']} fenced), "
+                     f"{distributed['requeues']} requeue(s), "
+                     f"{distributed['heartbeat_timeouts']} heartbeat "
+                     f"timeout(s), {distributed['local_fallbacks']} local "
+                     f"fallback(s)")
 
     serving = summary["serving"]
     if serving["fleet_runs"]:

@@ -22,6 +22,8 @@ import json
 import multiprocessing
 import os
 import pickle
+import signal
+import time
 
 import pytest
 
@@ -330,6 +332,38 @@ class TestStoreSafety:
         assert store.lease_released == 0
         assert store.lease_owner(key) == "them@elsewhere"
 
+    def test_lease_epoch_fences_past_the_previous_holder(self, tmp_path):
+        store = ResultStore(str(tmp_path), lease_timeout=5.0)
+        key = "de" + "0" * 62
+        lease = store.claim(key)
+        assert lease.epoch == 1
+        # A wedged foreign holder at epoch 3 whose heartbeat went silent.
+        with open(lease.path, "w", encoding="utf-8") as handle:
+            json.dump({"owner": "them@elsewhere", "ts": 0, "epoch": 3},
+                      handle)
+        then = time.time() - 120.0
+        os.utime(lease.path, (then, then))
+        stolen = store.claim(key)
+        assert stolen is not None
+        assert store.lease_stolen == 1
+        assert stolen.epoch == 4  # strictly past the dead owner's token
+
+    def test_fenced_put_dropped_after_lease_steal(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        key = "f1" + "0" * 62
+        lease = store.claim(key)
+        # Simulate a steal while this "worker" was away computing.
+        with open(lease.path, "w", encoding="utf-8") as handle:
+            json.dump({"owner": "them@elsewhere", "ts": time.time(),
+                       "epoch": lease.epoch + 1}, handle)
+        assert store.put_run(key, _sample_run(), lease=lease) is False
+        assert store.fenced_puts == 1
+        assert store.statistics()["fenced_puts"] == 1
+        assert key not in store  # the zombie's record never landed
+        # The takeover (no stale lease handle) still publishes normally.
+        assert store.put_run(key, _sample_run()) is True
+        assert store.puts == 1
+
 
 # --------------------------------------------------------------------------- #
 # The recovery matrix: fault × execution shape, bit-identical to fault-free
@@ -489,6 +523,18 @@ def _shared_store_worker(root: str, out_path: str) -> None:
                    "stats": store.statistics()}, handle)
 
 
+def _stalled_victim_worker(root: str) -> None:
+    """Claim the campaign's leases, then wedge forever (until SIGKILLed)."""
+    trainer = _trainer()
+    design = Design(kind="state", code=GOOD_STATE, design_id="shared-design")
+    store = ResultStore(root, lease_timeout=120.0)
+    scheduler = CampaignScheduler(ParallelConfig(max_workers=1), store=store)
+    plan = FaultPlan(rules=(FaultRule("job.timeout", times=-1,
+                                      delay_s=600.0),))
+    with inject(plan):
+        scheduler.run(_campaign_jobs(trainer, design))
+
+
 class TestSharedStoreCampaign:
     def test_two_processes_execute_each_key_exactly_once(self, tmp_path):
         root = str(tmp_path / "store")
@@ -520,6 +566,48 @@ class TestSharedStoreCampaign:
         total_contended = sum(report["stats"]["lease_contended"]
                               for report in reports)
         assert total_hits > 0 or total_contended > 0
+
+    def test_sigkilled_lease_holder_is_taken_over_exactly_once(self,
+                                                               tmp_path):
+        """A worker SIGKILLed mid-job leaves stale leases; a survivor steals
+        them, re-executes, and ends up with exactly one record per key."""
+        root = str(tmp_path / "store")
+        victim = multiprocessing.Process(target=_stalled_victim_worker,
+                                         args=(root,))
+        victim.start()
+        try:
+            deadline = time.time() + 120.0
+            claimed = []
+            while time.time() < deadline and not claimed:
+                for _, _, files in os.walk(root):
+                    claimed.extend(name for name in files
+                                   if name.endswith(".lease"))
+                time.sleep(0.05)
+            assert claimed, "victim never claimed a lease"
+            os.kill(victim.pid, signal.SIGKILL)  # dies holding its leases
+        finally:
+            victim.join(timeout=30)
+        assert victim.exitcode == -signal.SIGKILL
+
+        trainer = _trainer()
+        design = Design(kind="state", code=GOOD_STATE,
+                        design_id="shared-design")
+        reference = CampaignScheduler(ParallelConfig(max_workers=1)).run(
+            _campaign_jobs(trainer, design))
+
+        # The survivor first sees fresh-looking foreign leases (the victim
+        # heartbeated until the kill), defers, then takes them over once
+        # they cross the staleness deadline — and does all the work itself.
+        store = ResultStore(root, lease_timeout=2.0)
+        survivor = CampaignScheduler(ParallelConfig(max_workers=1),
+                                     store=store)
+        results = survivor.run(_campaign_jobs(trainer, design))
+        assert all(result.ok for result in results)
+        assert [r.score for r in results] == [r.score for r in reference]
+        assert store.lease_stolen > 0
+        assert store.puts == 4  # exactly once: every record is the survivor's
+        assert store.fenced_puts == 0
+        assert len(_store_snapshot(root)) == 4
 
 
 # --------------------------------------------------------------------------- #

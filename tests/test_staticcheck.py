@@ -341,6 +341,24 @@ class TestContractLinter:
         assert any("np.random.rand" in m for m in rng_messages)
         assert any("np.random.seed" in m for m in rng_messages)
 
+    def test_fault_coverage_all_declared_sites_are_tested(self):
+        # Every site in FAULT_SITES must be named by at least one test; a
+        # new injection site without a firing test is a lint error.
+        from repro.analysis.staticcheck import contracts
+        assert contracts._check_fault_coverage(
+            contracts._repo_source_root()) == []
+
+    def test_fault_coverage_flags_untested_site(self):
+        from repro.analysis.staticcheck import contracts
+        # Built at runtime so this very file does not "cover" the site.
+        site = "rpc." + "never_tested"
+        findings = contracts._check_fault_coverage(
+            contracts._repo_source_root(), sites=frozenset({site}))
+        assert len(findings) == 1
+        assert findings[0].rule == "repo.fault-coverage"
+        assert findings[0].severity == "error"
+        assert site in findings[0].message
+
 
 class TestSandboxHardening:
     """Runtime regressions for the codegen escape fixes."""
